@@ -1,0 +1,115 @@
+// Command aescli encrypts or decrypts data with the library's from-scratch
+// AES implementation — the same module operations that et_sim distributes
+// across the e-textile mesh. It exists to demonstrate and sanity-check the
+// cipher substrate; it uses ECB block chaining and therefore must not be used
+// to protect real data.
+//
+// Examples:
+//
+//	echo -n "00112233445566778899aabbccddeeff" | aescli -key 000102030405060708090a0b0c0d0e0f -mode encrypt
+//	aescli -key 000102030405060708090a0b0c0d0e0f -mode decrypt -in 69c4e0d86a7b0430d8cdb78070b4c55a
+//	aescli -key 000102030405060708090a0b0c0d0e0f -mode steps   # show the per-module job flow
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aes"
+	"repro/internal/app"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		keyHex   = flag.String("key", "", "key as hex (16, 24 or 32 bytes)")
+		mode     = flag.String("mode", "encrypt", "encrypt, decrypt, ctr or steps")
+		inHex    = flag.String("in", "", "input as hex (defaults to reading hex from stdin); encrypt/decrypt need a multiple of 16 bytes, ctr accepts any length")
+		nonceHex = flag.String("nonce", "0000000000000000", "8-byte nonce as hex for ctr mode")
+	)
+	flag.Parse()
+
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil {
+		fatal(fmt.Errorf("invalid key hex: %w", err))
+	}
+
+	if *mode == "steps" {
+		printSteps(key)
+		return
+	}
+
+	input := strings.TrimSpace(*inHex)
+	if input == "" {
+		scanner := bufio.NewScanner(os.Stdin)
+		var b strings.Builder
+		for scanner.Scan() {
+			b.WriteString(strings.TrimSpace(scanner.Text()))
+		}
+		input = b.String()
+	}
+	data, err := hex.DecodeString(input)
+	if err != nil {
+		fatal(fmt.Errorf("invalid input hex: %w", err))
+	}
+
+	cipher, err := aes.NewCipher(key)
+	if err != nil {
+		fatal(err)
+	}
+	var out []byte
+	switch *mode {
+	case "encrypt":
+		out, err = cipher.EncryptECB(data)
+	case "decrypt":
+		out, err = cipher.DecryptECB(data)
+	case "ctr":
+		var nonce []byte
+		if nonce, err = hex.DecodeString(*nonceHex); err == nil {
+			out, err = aes.EncryptCTR(key, nonce, data)
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q (want encrypt, decrypt, ctr or steps)", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(hex.EncodeToString(out))
+}
+
+// printSteps shows how one encryption job decomposes into module operations,
+// i.e. the data flow et_sim routes across the mesh.
+func printSteps(key []byte) {
+	size, err := aes.KeySizeForBytes(len(key))
+	if err != nil {
+		fatal(err)
+	}
+	steps, err := aes.EncryptionSteps(size)
+	if err != nil {
+		fatal(err)
+	}
+	t := stats.NewTable(fmt.Sprintf("%s job flow (%d operations)", size, len(steps)),
+		"#", "operation", "module", "round")
+	for i, s := range steps {
+		module, err := app.ModuleForOp(s.Kind)
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(i+1, s.Kind.String(), int(module), s.Round)
+	}
+	fmt.Print(t.Render())
+	m1, m2, m3, err := aes.OperationCounts(size)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("operations per module: f1=%d f2=%d f3=%d\n", m1, m2, m3)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aescli:", err)
+	os.Exit(1)
+}

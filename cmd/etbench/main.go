@@ -1,0 +1,163 @@
+// Command etbench regenerates every table and figure of the paper's
+// evaluation section, plus the additional ablation studies documented in
+// DESIGN.md, and prints them as plain-text tables (and optional CSV).
+//
+// Examples:
+//
+//	etbench                         # run everything on the paper's mesh sizes
+//	etbench -experiment fig7        # only the EAR-vs-SDR comparison
+//	etbench -sizes 4,5,6 -csv       # smaller sweep, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"which experiment to run: fig2, fig7, table2, fig8, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+		sizesFlag = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
+		ctrlFlag  = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		charts    = flag.Bool("charts", false, "also render ASCII charts for the figures")
+	)
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	controllers, err := parseInts(*ctrlFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := strings.Split(*experiment, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+	emit := func(t *stats.Table) {
+		if *asCSV {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	ran := 0
+
+	if want("fig2") {
+		points := experiments.Fig2(20)
+		emit(experiments.Fig2Table(points))
+		ran++
+	}
+	if want("fig7") {
+		rows, err := experiments.Fig7(sizes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig7Table(rows))
+		if *charts {
+			fmt.Println(experiments.Fig7Chart(rows).Render(60))
+		}
+		ran++
+	}
+	if want("table2") {
+		rows, err := experiments.Table2(sizes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Table2Table(rows))
+		ran++
+	}
+	if want("fig8") {
+		rows, err := experiments.Fig8(sizes, controllers)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig8Table(rows, controllers))
+		if *charts {
+			fmt.Println(experiments.Fig8Chart(rows, controllers).Render(60))
+		}
+		ran++
+	}
+	if want("ablation-q") {
+		rows, err := experiments.AblationEARWeight(sizes, []float64{1, 1.5, 2, 3, 4})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationQTable(rows))
+		ran++
+	}
+	if want("ablation-mapping") {
+		rows, err := experiments.AblationMapping(sizes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationMappingTable(rows))
+		ran++
+	}
+	if want("ablation-battery") {
+		rows, err := experiments.AblationBattery(sizes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationBatteryTable(rows))
+		ran++
+	}
+	if want("ablation-concurrency") {
+		rows, err := experiments.AblationConcurrency(sizes, []int{1, 2, 3, 4})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationConcurrencyTable(rows))
+		ran++
+	}
+	if want("ablation-links") {
+		rows, err := experiments.AblationLinkFailures(sizes, []float64{0, 0.1, 0.2, 0.3})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationLinkTable(rows))
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", csv)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etbench:", err)
+	os.Exit(1)
+}

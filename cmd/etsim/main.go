@@ -1,0 +1,108 @@
+// Command etsim runs a single et_sim simulation and prints the resulting
+// statistics. It is the command-line front end for the sim package.
+//
+// Example:
+//
+//	etsim -mesh 4 -alg EAR -battery thinfilm -controllers 1 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/battery"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		meshSize    = flag.Int("mesh", 4, "square mesh size (4..8 in the paper)")
+		algName     = flag.String("alg", "EAR", "routing algorithm: EAR or SDR")
+		batteryKind = flag.String("battery", "thinfilm", "node battery model: thinfilm or ideal")
+		controllers = flag.Int("controllers", 1, "number of central controllers")
+		ctrlBattery = flag.Bool("controller-battery", false, "give controllers finite thin-film batteries (Sec 7.3)")
+		concurrent  = flag.Int("jobs", 1, "number of concurrent jobs in flight")
+		earQ        = flag.Float64("ear-q", routing.DefaultEARParams().Q, "EAR battery-weighting base Q")
+		verify      = flag.Bool("verify", false, "carry a real AES payload and verify every completed job")
+		maxCycles   = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
+		perNode     = flag.Bool("v", false, "print per-node statistics")
+	)
+	flag.Parse()
+
+	cfg, err := sim.Default(*meshSize)
+	if err != nil {
+		fatal(err)
+	}
+	switch *algName {
+	case "EAR", "ear":
+		params := routing.DefaultEARParams()
+		params.Q = *earQ
+		cfg.Algorithm = routing.EAR{Params: params}
+	case "SDR", "sdr":
+		cfg.Algorithm = routing.SDR{}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want EAR or SDR)", *algName))
+	}
+	switch *batteryKind {
+	case "thinfilm":
+		cfg.NodeBattery = battery.DefaultThinFilmFactory()
+	case "ideal":
+		cfg.NodeBattery = battery.IdealFactory(battery.DefaultNominalPJ)
+	default:
+		fatal(fmt.Errorf("unknown battery model %q (want thinfilm or ideal)", *batteryKind))
+	}
+	cfg.Controllers = *controllers
+	if *ctrlBattery {
+		cfg.ControllerBattery = battery.DefaultThinFilmFactory()
+	}
+	cfg.ConcurrentJobs = *concurrent
+	cfg.MaxCycles = *maxCycles
+	cfg.CollectNodeStats = *perNode
+	if *verify {
+		cfg.Key = []byte("\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c")
+	}
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := s.Run()
+
+	fmt.Println(res.String())
+	summary := stats.NewTable("", "metric", "value")
+	summary.AddRow("jobs completed", res.JobsCompleted)
+	summary.AddRow("jobs lost", res.JobsLost)
+	summary.AddRow("lifetime [cycles]", res.LifetimeCycles)
+	summary.AddRow("TDMA frames", res.Frames)
+	summary.AddRow("routing recomputations", res.RoutingRecomputes)
+	summary.AddRow("deadlock reports", res.DeadlockReports)
+	summary.AddRow("dead nodes", res.DeadNodes)
+	summary.AddRow("computation energy [pJ]", res.Energy.ComputationPJ)
+	summary.AddRow("communication energy [pJ]", res.Energy.CommunicationPJ)
+	summary.AddRow("control upload energy [pJ]", res.Energy.ControlUploadPJ)
+	summary.AddRow("control download energy [pJ]", res.Energy.ControlDownloadPJ)
+	summary.AddRow("controller energy [pJ]", res.Energy.ControllerPJ)
+	summary.AddRow("wasted (stranded) energy [pJ]", res.Energy.WastedPJ)
+	summary.AddRow("control overhead", fmt.Sprintf("%.1f%%", 100*res.Energy.ControlOverheadFraction()))
+	if res.PayloadJobsVerified+res.PayloadMismatches > 0 {
+		summary.AddRow("AES payloads verified", res.PayloadJobsVerified)
+		summary.AddRow("AES payload mismatches", res.PayloadMismatches)
+	}
+	fmt.Print(summary.Render())
+
+	if *perNode {
+		nodes := stats.NewTable("per-node statistics", "node", "module", "ops", "relayed", "comp pJ", "comm pJ", "ctrl pJ", "dead")
+		for _, n := range res.Nodes {
+			nodes.AddRow(int(n.Node), n.Module, n.Operations, n.PacketsRelayed, n.ComputationPJ, n.CommunicationPJ, n.ControlPJ, n.Dead)
+		}
+		fmt.Print(nodes.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "etsim:", err)
+	os.Exit(1)
+}

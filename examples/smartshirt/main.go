@@ -1,0 +1,55 @@
+// Smartshirt: the scenario sketched in Fig 3(a) of the paper — a shirt with a
+// sensor block whose readings are encrypted by AES modules distributed over a
+// woven 6x6 mesh before leaving the garment. Every simulated job carries a
+// real 128-bit block through the mesh, and each completed job's ciphertext is
+// verified against the reference cipher, demonstrating that the distributed
+// execution is functionally exact, not just an energy model.
+//
+// Run with:
+//
+//	go run ./examples/smartshirt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A fixed session key shared with the off-garment receiver.
+	key := []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+
+	strategy, err := core.EAR(6,
+		core.WithPayloadVerification(key),
+		core.WithNodeStats(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := strategy.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Smart shirt: distributed AES-128 over a 6x6 woven mesh (EAR routing)")
+	fmt.Printf("\nSensor blocks encrypted before the garment died: %d\n", res.JobsCompleted)
+	fmt.Printf("Ciphertexts verified against the reference cipher: %d (mismatches: %d)\n",
+		res.PayloadJobsVerified, res.PayloadMismatches)
+	fmt.Printf("Garment lifetime: %d cycles (%d TDMA frames); died because: %s\n",
+		res.LifetimeCycles, res.Frames, res.Reason)
+	fmt.Printf("Dead nodes at end of life: %d of %d\n\n", res.DeadNodes, res.MeshNodes)
+
+	table := stats.NewTable("Per-node wear at end of life (module 1 = SubBytes/ShiftRows, 2 = MixColumns, 3 = KeyExpansion/AddRoundKey)",
+		"node", "module", "operations", "packets relayed", "energy delivered [pJ]", "dead")
+	for _, n := range res.Nodes {
+		table.AddRow(int(n.Node), n.Module, n.Operations, n.PacketsRelayed,
+			fmt.Sprintf("%.0f", n.DeliveredPJ), n.Dead)
+	}
+	fmt.Print(table.Render())
+}

@@ -1,0 +1,508 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestSBoxKnownValues(t *testing.T) {
+	// Spot values from FIPS-197 Figure 7.
+	cases := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x10: 0xca, 0x53: 0xed,
+		0x9a: 0xb8, 0xc9: 0xdd, 0xff: 0x16, 0xf0: 0x8c,
+	}
+	for in, want := range cases {
+		if got := SBox(in); got != want {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestSBoxIsABijectionAndInverts(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < 256; i++ {
+		s := SBox(byte(i))
+		if seen[s] {
+			t.Fatalf("S-box value %#02x repeated", s)
+		}
+		seen[s] = true
+		if InvSBox(s) != byte(i) {
+			t.Fatalf("InvSBox(SBox(%#02x)) = %#02x", i, InvSBox(s))
+		}
+	}
+}
+
+func TestGFMultiplication(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0x57, 0x83, 0xc1}, // FIPS-197 Sec 4.2 example
+		{0x57, 0x13, 0xfe}, // FIPS-197 Sec 4.2.1 example
+		{0x01, 0xab, 0xab},
+		{0x00, 0xff, 0x00},
+	}
+	for _, tc := range cases {
+		if got := gmul(tc.a, tc.b); got != tc.want {
+			t.Errorf("gmul(%#02x, %#02x) = %#02x, want %#02x", tc.a, tc.b, got, tc.want)
+		}
+		if got := gmul(tc.b, tc.a); got != tc.want {
+			t.Errorf("gmul not commutative for (%#02x, %#02x)", tc.a, tc.b)
+		}
+	}
+}
+
+func TestGFInverseProperty(t *testing.T) {
+	for i := 1; i < 256; i++ {
+		if got := gmul(byte(i), ginv(byte(i))); got != 1 {
+			t.Fatalf("x * ginv(x) = %#02x for x = %#02x, want 1", got, i)
+		}
+	}
+	if ginv(0) != 0 {
+		t.Fatal("ginv(0) must be 0 by convention")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	block := mustHex(t, "00112233445566778899aabbccddeeff")
+	s, err := LoadState(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s.Bytes(), block) {
+		t.Fatalf("state round trip: got %x, want %x", s.Bytes(), block)
+	}
+	// Column-major layout check: byte 1 of the block is row 1, column 0.
+	if s[1][0] != 0x11 || s[0][1] != 0x44 {
+		t.Fatalf("state layout wrong: s[1][0]=%#02x s[0][1]=%#02x", s[1][0], s[0][1])
+	}
+	if _, err := LoadState(block[:5]); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if s.String() != "00112233445566778899aabbccddeeff" {
+		t.Fatalf("State.String() = %q", s.String())
+	}
+}
+
+func TestShiftRowsExample(t *testing.T) {
+	var s State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			s[r][c] = byte(4*r + c)
+		}
+	}
+	out := ShiftRows(s)
+	// Row 0 unchanged, row 1 rotated left by 1, etc.
+	want := State{
+		{0, 1, 2, 3},
+		{5, 6, 7, 4},
+		{10, 11, 8, 9},
+		{15, 12, 13, 14},
+	}
+	if out != want {
+		t.Fatalf("ShiftRows = %v, want %v", out, want)
+	}
+	if InvShiftRows(out) != s {
+		t.Fatal("InvShiftRows does not invert ShiftRows")
+	}
+}
+
+func TestOperationInverseProperties(t *testing.T) {
+	roundTrip := func(block [16]byte) bool {
+		s, err := LoadState(block[:])
+		if err != nil {
+			return false
+		}
+		if InvSubBytes(SubBytes(s)) != s {
+			return false
+		}
+		if InvShiftRows(ShiftRows(s)) != s {
+			return false
+		}
+		if InvMixColumns(MixColumns(s)) != s {
+			return false
+		}
+		if InvSubBytesShiftRows(SubBytesShiftRows(s)) != s {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRoundKeyIsItsOwnInverse(t *testing.T) {
+	prop := func(block, key [16]byte) bool {
+		s, _ := LoadState(block[:])
+		ks, err := ExpandKey(key[:])
+		if err != nil {
+			return false
+		}
+		rk := ks.mustRoundKey(3)
+		return AddRoundKey(AddRoundKey(s, rk), rk) == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeySizeProperties(t *testing.T) {
+	cases := []struct {
+		size  KeySize
+		nk    int
+		nr    int
+		bytes int
+		str   string
+	}{
+		{Key128, 4, 10, 16, "AES-128"},
+		{Key192, 6, 12, 24, "AES-192"},
+		{Key256, 8, 14, 32, "AES-256"},
+	}
+	for _, tc := range cases {
+		if tc.size.Nk() != tc.nk || tc.size.Nr() != tc.nr || tc.size.Bytes() != tc.bytes {
+			t.Errorf("%v: Nk/Nr/Bytes = %d/%d/%d, want %d/%d/%d",
+				tc.size, tc.size.Nk(), tc.size.Nr(), tc.size.Bytes(), tc.nk, tc.nr, tc.bytes)
+		}
+		if !tc.size.Valid() {
+			t.Errorf("%v reported invalid", tc.size)
+		}
+		if tc.size.String() != tc.str {
+			t.Errorf("String() = %q, want %q", tc.size.String(), tc.str)
+		}
+	}
+	if KeySize(512).Valid() {
+		t.Error("KeySize(512) reported valid")
+	}
+	if _, err := KeySizeForBytes(20); err == nil {
+		t.Error("KeySizeForBytes(20) should fail")
+	}
+}
+
+func TestKeyExpansionFIPSAppendixA1(t *testing.T) {
+	// FIPS-197 Appendix A.1: AES-128 key expansion.
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	ks, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Words() != 44 {
+		t.Fatalf("expanded words = %d, want 44", ks.Words())
+	}
+	wantWords := map[int]string{
+		4:  "a0fafe17",
+		10: "5935807a",
+		23: "11f915bc",
+		43: "b6630ca6",
+	}
+	for i, want := range wantWords {
+		got := ks.words[i]
+		if hex.EncodeToString(got[:]) != want {
+			t.Errorf("w[%d] = %x, want %s", i, got, want)
+		}
+	}
+	if _, err := ks.RoundKey(-1); err == nil {
+		t.Error("RoundKey(-1) should fail")
+	}
+	if _, err := ks.RoundKey(11); err == nil {
+		t.Error("RoundKey(11) should fail for AES-128")
+	}
+}
+
+func TestKeyExpansionRejectsBadKeyLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 23, 31, 33} {
+		if _, err := ExpandKey(make([]byte, n)); err == nil {
+			t.Errorf("ExpandKey accepted %d-byte key", n)
+		}
+	}
+}
+
+// FIPS-197 Appendix C known-answer vectors.
+func TestCipherFIPSVectors(t *testing.T) {
+	cases := []struct {
+		name       string
+		key        string
+		plaintext  string
+		ciphertext string
+	}{
+		{
+			name:       "AES-128 Appendix C.1",
+			key:        "000102030405060708090a0b0c0d0e0f",
+			plaintext:  "00112233445566778899aabbccddeeff",
+			ciphertext: "69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{
+			name:       "AES-192 Appendix C.2",
+			key:        "000102030405060708090a0b0c0d0e0f1011121314151617",
+			plaintext:  "00112233445566778899aabbccddeeff",
+			ciphertext: "dda97ca4864cdfe06eaf70a0ec0d7191",
+		},
+		{
+			name:       "AES-256 Appendix C.3",
+			key:        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			plaintext:  "00112233445566778899aabbccddeeff",
+			ciphertext: "8ea2b7ca516745bfeafc49904b496089",
+		},
+		{
+			name:       "AES-128 Appendix B example",
+			key:        "2b7e151628aed2a6abf7158809cf4f3c",
+			plaintext:  "3243f6a8885a308d313198a2e0370734",
+			ciphertext: "3925841d02dc09fbdc118597196a0b32",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCipher(mustHex(t, tc.key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := c.EncryptBlock(mustHex(t, tc.plaintext))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hex.EncodeToString(ct) != tc.ciphertext {
+				t.Fatalf("ciphertext = %x, want %s", ct, tc.ciphertext)
+			}
+			pt, err := c.DecryptBlock(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hex.EncodeToString(pt) != tc.plaintext {
+				t.Fatalf("decrypted = %x, want %s", pt, tc.plaintext)
+			}
+		})
+	}
+}
+
+func TestCipherRejectsBadBlockSizes(t *testing.T) {
+	c, err := NewCipher(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncryptBlock(make([]byte, 15)); err == nil {
+		t.Error("short plaintext accepted")
+	}
+	if _, err := c.DecryptBlock(make([]byte, 17)); err == nil {
+		t.Error("long ciphertext accepted")
+	}
+}
+
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	prop := func(key [16]byte, block [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ct, err := c.EncryptBlock(block[:])
+		if err != nil {
+			return false
+		}
+		pt, err := c.DecryptBlock(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, block[:]) && !bytes.Equal(ct, block[:])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptDecryptRoundTrip256Property(t *testing.T) {
+	prop := func(key [32]byte, block [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ct, err := c.EncryptBlock(block[:])
+		if err != nil {
+			return false
+		}
+		pt, err := c.DecryptBlock(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, block[:])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECBHelpers(t *testing.T) {
+	c, err := NewCipher(mustHex(t, "000102030405060708090a0b0c0d0e0f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plaintext := bytes.Repeat(mustHex(t, "00112233445566778899aabbccddeeff"), 3)
+	ct, err := c.EncryptECB(plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != len(plaintext) {
+		t.Fatalf("ciphertext length %d, want %d", len(ct), len(plaintext))
+	}
+	// ECB encrypts identical blocks identically.
+	if !bytes.Equal(ct[:16], ct[16:32]) {
+		t.Fatal("identical plaintext blocks produced different ECB ciphertext blocks")
+	}
+	pt, err := c.DecryptECB(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, plaintext) {
+		t.Fatal("ECB round trip failed")
+	}
+	if _, err := c.EncryptECB(make([]byte, 10)); err == nil {
+		t.Error("non-multiple-of-block-size input accepted")
+	}
+}
+
+func TestEncryptionStepsMatchPaperOperationCounts(t *testing.T) {
+	steps, err := EncryptionSteps(Key128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 30 {
+		t.Fatalf("AES-128 job has %d operations, want 30", len(steps))
+	}
+	m1, m2, m3, err := OperationCounts(Key128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != 10 || m2 != 9 || m3 != 11 {
+		t.Fatalf("operation counts = (%d,%d,%d), want (10,9,11) as in Table 1", m1, m2, m3)
+	}
+	// First and last operations must be AddRoundKey per the Fig 1 pseudo code.
+	if steps[0].Kind != OpAddRoundKey || steps[0].Round != 0 {
+		t.Errorf("first step = %+v, want AddRoundKey round 0", steps[0])
+	}
+	if steps[len(steps)-1].Kind != OpAddRoundKey || steps[len(steps)-1].Round != 10 {
+		t.Errorf("last step = %+v, want AddRoundKey round 10", steps[len(steps)-1])
+	}
+	if _, err := EncryptionSteps(KeySize(100)); err == nil {
+		t.Error("invalid key size accepted")
+	}
+	if _, _, _, err := OperationCounts(KeySize(100)); err == nil {
+		t.Error("invalid key size accepted by OperationCounts")
+	}
+}
+
+func TestOperationCountsOtherKeySizes(t *testing.T) {
+	for _, tc := range []struct {
+		size       KeySize
+		m1, m2, m3 int
+	}{
+		{Key192, 12, 11, 13},
+		{Key256, 14, 13, 15},
+	} {
+		m1, m2, m3, err := OperationCounts(tc.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != tc.m1 || m2 != tc.m2 || m3 != tc.m3 {
+			t.Errorf("%v counts = (%d,%d,%d), want (%d,%d,%d)",
+				tc.size, m1, m2, m3, tc.m1, tc.m2, tc.m3)
+		}
+	}
+}
+
+func TestPipelineMatchesReferenceCipher(t *testing.T) {
+	prop := func(key [16]byte, block [16]byte) bool {
+		p, err := NewPipeline(key[:])
+		if err != nil {
+			return false
+		}
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		got, err := p.Run(block[:])
+		if err != nil {
+			return false
+		}
+		want, err := c.EncryptBlock(block[:])
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineStepwiseExecution(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	p, err := NewPipeline(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSteps() != 30 {
+		t.Fatalf("NumSteps = %d, want 30", p.NumSteps())
+	}
+	s, err := LoadState(mustHex(t, "3243f6a8885a308d313198a2e0370734"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumSteps(); i++ {
+		if s, err = p.Apply(s, i); err != nil {
+			t.Fatalf("Apply(%d): %v", i, err)
+		}
+	}
+	if s.String() != "3925841d02dc09fbdc118597196a0b32" {
+		t.Fatalf("stepwise ciphertext = %s, want FIPS example value", s)
+	}
+	if _, err := p.Apply(s, -1); err == nil {
+		t.Error("Apply(-1) should fail")
+	}
+	if _, err := p.Apply(s, p.NumSteps()); err == nil {
+		t.Error("Apply past end should fail")
+	}
+	steps := p.Steps()
+	steps[0].Kind = OpMixColumns
+	if p.steps[0].Kind == OpMixColumns {
+		t.Error("Steps() must return a copy")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpAddRoundKey.String() != "AddRoundKey" ||
+		OpSubBytesShiftRows.String() != "SubBytes/ShiftRows" ||
+		OpMixColumns.String() != "MixColumns" {
+		t.Error("OpKind String() values wrong")
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Errorf("unknown OpKind string = %q", OpKind(42).String())
+	}
+}
+
+func BenchmarkEncryptBlock128(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	block := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncryptBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineRun128(b *testing.B) {
+	p, _ := NewPipeline(make([]byte, 16))
+	block := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

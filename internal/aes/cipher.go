@@ -1,0 +1,235 @@
+package aes
+
+import "fmt"
+
+// Cipher is a reference AES block cipher for one expanded key. It is used
+// both directly (cmd/aescli, tests) and as the golden model the distributed
+// Pipeline execution in et_sim is verified against.
+type Cipher struct {
+	schedule *KeySchedule
+}
+
+// NewCipher expands the given raw key (16, 24 or 32 bytes) and returns a
+// ready-to-use cipher.
+func NewCipher(key []byte) (*Cipher, error) {
+	ks, err := ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{schedule: ks}, nil
+}
+
+// KeySize returns the cipher's key size.
+func (c *Cipher) KeySize() KeySize { return c.schedule.Size() }
+
+// Schedule returns the expanded key schedule.
+func (c *Cipher) Schedule() *KeySchedule { return c.schedule }
+
+// EncryptBlock encrypts a single 16-byte block.
+func (c *Cipher) EncryptBlock(plaintext []byte) ([]byte, error) {
+	s, err := LoadState(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	nr := c.schedule.Rounds()
+	s = AddRoundKey(s, c.schedule.mustRoundKey(0))
+	for round := 1; round < nr; round++ {
+		s = SubBytesShiftRows(s)
+		s = MixColumns(s)
+		s = AddRoundKey(s, c.schedule.mustRoundKey(round))
+	}
+	s = SubBytesShiftRows(s)
+	s = AddRoundKey(s, c.schedule.mustRoundKey(nr))
+	return s.Bytes(), nil
+}
+
+// DecryptBlock decrypts a single 16-byte block.
+func (c *Cipher) DecryptBlock(ciphertext []byte) ([]byte, error) {
+	s, err := LoadState(ciphertext)
+	if err != nil {
+		return nil, err
+	}
+	nr := c.schedule.Rounds()
+	s = AddRoundKey(s, c.schedule.mustRoundKey(nr))
+	for round := nr - 1; round >= 1; round-- {
+		s = InvSubBytesShiftRows(s)
+		s = AddRoundKey(s, c.schedule.mustRoundKey(round))
+		s = InvMixColumns(s)
+	}
+	s = InvSubBytesShiftRows(s)
+	s = AddRoundKey(s, c.schedule.mustRoundKey(0))
+	return s.Bytes(), nil
+}
+
+// EncryptECB encrypts a multiple-of-16-bytes buffer block by block. It exists
+// for the aescli tool and for generating deterministic multi-block workloads;
+// ECB offers no semantic security and must not be used to protect real data.
+func (c *Cipher) EncryptECB(plaintext []byte) ([]byte, error) {
+	return c.ecb(plaintext, c.EncryptBlock)
+}
+
+// DecryptECB reverses EncryptECB.
+func (c *Cipher) DecryptECB(ciphertext []byte) ([]byte, error) {
+	return c.ecb(ciphertext, c.DecryptBlock)
+}
+
+func (c *Cipher) ecb(in []byte, f func([]byte) ([]byte, error)) ([]byte, error) {
+	if len(in)%BlockSize != 0 {
+		return nil, fmt.Errorf("aes: input length %d is not a multiple of the block size", len(in))
+	}
+	out := make([]byte, 0, len(in))
+	for off := 0; off < len(in); off += BlockSize {
+		blk, err := f(in[off : off+BlockSize])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// OpKind identifies one kind of cipher operation, matching the paper's
+// module partitioning: each OpKind is an "act of computation" performed by
+// exactly one module.
+type OpKind int
+
+// Operation kinds and the module that executes them.
+const (
+	// OpAddRoundKey is executed by Module 3 (KeyExpansion/AddRoundKey).
+	OpAddRoundKey OpKind = iota
+	// OpSubBytesShiftRows is executed by Module 1 (SubBytes/ShiftRows).
+	OpSubBytesShiftRows
+	// OpMixColumns is executed by Module 2 (MixColumns).
+	OpMixColumns
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAddRoundKey:
+		return "AddRoundKey"
+	case OpSubBytesShiftRows:
+		return "SubBytes/ShiftRows"
+	case OpMixColumns:
+		return "MixColumns"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Step is one operation of the encryption data flow: an OpKind plus the round
+// whose key material it needs (meaningful only for OpAddRoundKey).
+type Step struct {
+	Kind  OpKind
+	Round int
+}
+
+// EncryptionSteps returns the complete operation sequence of one encryption
+// job for the given key size, in data-flow order. For AES-128 this yields 30
+// steps: 10 of Module 1, 9 of Module 2 and 11 of Module 3, matching the
+// f_i = (10, 9, 11) operation counts of Table 1.
+func EncryptionSteps(size KeySize) ([]Step, error) {
+	if !size.Valid() {
+		return nil, fmt.Errorf("aes: invalid key size %d", int(size))
+	}
+	nr := size.Nr()
+	steps := make([]Step, 0, 3*nr+1)
+	steps = append(steps, Step{Kind: OpAddRoundKey, Round: 0})
+	for round := 1; round < nr; round++ {
+		steps = append(steps,
+			Step{Kind: OpSubBytesShiftRows, Round: round},
+			Step{Kind: OpMixColumns, Round: round},
+			Step{Kind: OpAddRoundKey, Round: round},
+		)
+	}
+	steps = append(steps,
+		Step{Kind: OpSubBytesShiftRows, Round: nr},
+		Step{Kind: OpAddRoundKey, Round: nr},
+	)
+	return steps, nil
+}
+
+// OperationCounts returns, for the given key size, how many operations each
+// module performs per encryption job: the paper's (f1, f2, f3).
+func OperationCounts(size KeySize) (module1, module2, module3 int, err error) {
+	steps, err := EncryptionSteps(size)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, s := range steps {
+		switch s.Kind {
+		case OpSubBytesShiftRows:
+			module1++
+		case OpMixColumns:
+			module2++
+		case OpAddRoundKey:
+			module3++
+		}
+	}
+	return module1, module2, module3, nil
+}
+
+// Pipeline executes an encryption step by step. It is the computational
+// payload carried through the mesh by et_sim: each node applies exactly the
+// steps belonging to its module, so a completed simulated job produces a real
+// AES ciphertext that can be checked against the Cipher reference.
+type Pipeline struct {
+	schedule *KeySchedule
+	steps    []Step
+}
+
+// NewPipeline builds a pipeline for the given raw key.
+func NewPipeline(key []byte) (*Pipeline, error) {
+	ks, err := ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := EncryptionSteps(ks.Size())
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{schedule: ks, steps: steps}, nil
+}
+
+// Steps returns the pipeline's operation sequence.
+func (p *Pipeline) Steps() []Step {
+	out := make([]Step, len(p.steps))
+	copy(out, p.steps)
+	return out
+}
+
+// NumSteps returns the number of operations in one job.
+func (p *Pipeline) NumSteps() int { return len(p.steps) }
+
+// Apply executes step index i on the given state and returns the new state.
+func (p *Pipeline) Apply(s State, i int) (State, error) {
+	if i < 0 || i >= len(p.steps) {
+		return s, fmt.Errorf("aes: step index %d out of range 0..%d", i, len(p.steps)-1)
+	}
+	step := p.steps[i]
+	switch step.Kind {
+	case OpAddRoundKey:
+		return AddRoundKey(s, p.schedule.mustRoundKey(step.Round)), nil
+	case OpSubBytesShiftRows:
+		return SubBytesShiftRows(s), nil
+	case OpMixColumns:
+		return MixColumns(s), nil
+	default:
+		return s, fmt.Errorf("aes: unknown operation kind %d", step.Kind)
+	}
+}
+
+// Run executes the whole pipeline on a 16-byte plaintext block and returns
+// the ciphertext. It must agree with Cipher.EncryptBlock for the same key.
+func (p *Pipeline) Run(plaintext []byte) ([]byte, error) {
+	s, err := LoadState(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.steps {
+		if s, err = p.Apply(s, i); err != nil {
+			return nil, err
+		}
+	}
+	return s.Bytes(), nil
+}

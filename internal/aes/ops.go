@@ -1,0 +1,99 @@
+package aes
+
+// This file implements the primitive transformations of FIPS-197 Sec 5.1/5.3.
+// They map one-to-one onto the hardware modules of the paper's partitioning:
+// SubBytes and ShiftRows belong to Module 1, MixColumns to Module 2, and
+// AddRoundKey (together with KeyExpansion in key.go) to Module 3.
+
+// SubBytes applies the S-box to every byte of the state (Module 1).
+func SubBytes(s State) State {
+	var out State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			out[r][c] = sbox[s[r][c]]
+		}
+	}
+	return out
+}
+
+// InvSubBytes applies the inverse S-box to every byte of the state.
+func InvSubBytes(s State) State {
+	var out State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			out[r][c] = invSbox[s[r][c]]
+		}
+	}
+	return out
+}
+
+// ShiftRows cyclically shifts row r of the state left by r positions
+// (Module 1).
+func ShiftRows(s State) State {
+	var out State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			out[r][c] = s[r][(c+r)%Nb]
+		}
+	}
+	return out
+}
+
+// InvShiftRows cyclically shifts row r of the state right by r positions.
+func InvShiftRows(s State) State {
+	var out State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			out[r][(c+r)%Nb] = s[r][c]
+		}
+	}
+	return out
+}
+
+// SubBytesShiftRows performs the combined operation of the paper's Module 1:
+// one "act of computation" of that module applies SubBytes followed by
+// ShiftRows to the state it receives.
+func SubBytesShiftRows(s State) State { return ShiftRows(SubBytes(s)) }
+
+// InvSubBytesShiftRows reverses SubBytesShiftRows.
+func InvSubBytesShiftRows(s State) State { return InvSubBytes(InvShiftRows(s)) }
+
+// MixColumns multiplies each column of the state by the fixed FIPS-197
+// polynomial {03}x^3 + {01}x^2 + {01}x + {02} (Module 2).
+func MixColumns(s State) State {
+	var out State
+	for c := 0; c < Nb; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		out[0][c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		out[1][c] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		out[2][c] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		out[3][c] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+	return out
+}
+
+// InvMixColumns multiplies each column by the inverse polynomial
+// {0b}x^3 + {0d}x^2 + {09}x + {0e}.
+func InvMixColumns(s State) State {
+	var out State
+	for c := 0; c < Nb; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		out[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		out[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		out[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		out[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+	return out
+}
+
+// AddRoundKey XORs one round key (Nb words of the expanded key schedule) into
+// the state (Module 3).
+func AddRoundKey(s State, roundKey []Word) State {
+	var out State
+	for c := 0; c < Nb; c++ {
+		for r := 0; r < 4; r++ {
+			out[r][c] = s[r][c] ^ roundKey[c][r]
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes (Nb = 4 words).
+const BlockSize = 16
+
+// Nb is the number of 32-bit columns in the state, fixed at 4 by FIPS-197.
+const Nb = 4
+
+// State is the 4x4 byte state array of FIPS-197. state[r][c] holds the byte
+// in row r, column c; input bytes fill the state column by column.
+type State [4][4]byte
+
+// LoadState fills a state from a 16-byte block in the column-major order
+// mandated by FIPS-197 Sec 3.4.
+func LoadState(block []byte) (State, error) {
+	var s State
+	if len(block) != BlockSize {
+		return s, fmt.Errorf("aes: block must be %d bytes, got %d", BlockSize, len(block))
+	}
+	for c := 0; c < Nb; c++ {
+		for r := 0; r < 4; r++ {
+			s[r][c] = block[4*c+r]
+		}
+	}
+	return s, nil
+}
+
+// Bytes serialises the state back into a 16-byte block.
+func (s State) Bytes() []byte {
+	out := make([]byte, BlockSize)
+	for c := 0; c < Nb; c++ {
+		for r := 0; r < 4; r++ {
+			out[4*c+r] = s[r][c]
+		}
+	}
+	return out
+}
+
+// String renders the state as 16 hexadecimal bytes in block order, which is
+// convenient when comparing against the FIPS-197 worked example.
+func (s State) String() string { return fmt.Sprintf("%x", s.Bytes()) }
+
+// Word is a 32-bit word of the key schedule, stored as 4 bytes.
+type Word [4]byte
+
+// xorWords returns the byte-wise XOR of two words.
+func xorWords(a, b Word) Word {
+	return Word{a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]}
+}
+
+// subWord applies the S-box to each byte of a word (used by KeyExpansion).
+func subWord(w Word) Word {
+	return Word{sbox[w[0]], sbox[w[1]], sbox[w[2]], sbox[w[3]]}
+}
+
+// rotWord rotates a word left by one byte (used by KeyExpansion).
+func rotWord(w Word) Word { return Word{w[1], w[2], w[3], w[0]} }

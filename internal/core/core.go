@@ -1,0 +1,230 @@
+// Package core is the top-level facade of the library: it bundles the four
+// ingredients the paper calls a routing strategy RS — network topology,
+// module mapping, control mechanism and routing algorithm — into a single
+// Strategy value that can be simulated with et_sim and compared against the
+// Theorem-1 upper bound.
+//
+// Typical use:
+//
+//	strategy, _ := core.EAR(4)                 // 4x4 mesh, paper defaults
+//	result, _ := strategy.Simulate()           // run et_sim to system death
+//	bound, _ := strategy.UpperBound()          // Theorem 1 for the same setup
+//	fmt.Println(result.JobsCompleted, bound.Jobs)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/app"
+	"repro/internal/battery"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// Strategy is one fully specified routing strategy plus the platform it runs
+// on. Construct it with New, EAR or SDR and refine it with Options.
+type Strategy struct {
+	// Label names the strategy in experiment output.
+	Label string
+	// Mesh is the platform topology.
+	Mesh *topology.Mesh
+	// App is the target application.
+	App *app.Application
+	// Mapper produces the module-to-node mapping.
+	Mapper mapping.Strategy
+	// Algorithm is the online routing algorithm.
+	Algorithm routing.Algorithm
+	// NodeBattery builds each node's battery.
+	NodeBattery battery.Factory
+	// Line is the transmission-line energy model.
+	Line *energy.TransmissionLine
+	// TDMA is the control-mechanism configuration.
+	TDMA tdma.Params
+	// Controllers is the number of central controllers.
+	Controllers int
+	// ControllerBattery builds controller batteries; nil means infinite.
+	ControllerBattery battery.Factory
+	// ConcurrentJobs is the number of jobs kept in flight.
+	ConcurrentJobs int
+	// Key optionally enables end-to-end AES payload verification.
+	Key []byte
+	// CollectNodeStats enables per-node statistics.
+	CollectNodeStats bool
+	// MaxCycles optionally bounds the simulated time.
+	MaxCycles int64
+	// FailedLinkFraction removes that fraction of the mesh interconnects
+	// (wear-and-tear) before the simulation starts; FailedLinkSeed selects
+	// the deterministic fault pattern.
+	FailedLinkFraction float64
+	FailedLinkSeed     uint64
+}
+
+// Option mutates a Strategy during construction.
+type Option func(*Strategy)
+
+// WithAlgorithm overrides the routing algorithm.
+func WithAlgorithm(alg routing.Algorithm) Option { return func(s *Strategy) { s.Algorithm = alg } }
+
+// WithMapping overrides the module-mapping strategy.
+func WithMapping(m mapping.Strategy) Option { return func(s *Strategy) { s.Mapper = m } }
+
+// WithNodeBattery overrides the node battery model.
+func WithNodeBattery(f battery.Factory) Option { return func(s *Strategy) { s.NodeBattery = f } }
+
+// WithIdealBatteries switches every node to the ideal battery model used for
+// the Table 2 comparison.
+func WithIdealBatteries() Option {
+	return func(s *Strategy) { s.NodeBattery = battery.IdealFactory(battery.DefaultNominalPJ) }
+}
+
+// WithControllers sets the number of controllers and, when finite is true,
+// attaches a thin-film battery to each of them (the Sec 7.3 scenario).
+func WithControllers(n int, finite bool) Option {
+	return func(s *Strategy) {
+		s.Controllers = n
+		if finite {
+			s.ControllerBattery = battery.DefaultThinFilmFactory()
+		} else {
+			s.ControllerBattery = nil
+		}
+	}
+}
+
+// WithConcurrentJobs sets the number of jobs kept in flight simultaneously.
+func WithConcurrentJobs(n int) Option { return func(s *Strategy) { s.ConcurrentJobs = n } }
+
+// WithApplication overrides the target application.
+func WithApplication(a *app.Application) Option { return func(s *Strategy) { s.App = a } }
+
+// WithTDMA overrides the control-mechanism parameters.
+func WithTDMA(p tdma.Params) Option { return func(s *Strategy) { s.TDMA = p } }
+
+// WithPayloadVerification makes every simulated job carry a real AES state
+// encrypted with the given key and verified against the reference cipher.
+func WithPayloadVerification(key []byte) Option { return func(s *Strategy) { s.Key = key } }
+
+// WithNodeStats enables per-node statistics collection.
+func WithNodeStats() Option { return func(s *Strategy) { s.CollectNodeStats = true } }
+
+// WithMaxCycles bounds the simulated time.
+func WithMaxCycles(c int64) Option { return func(s *Strategy) { s.MaxCycles = c } }
+
+// WithFailedLinks removes the given fraction of the platform's interconnects
+// before the simulation starts, modelling wear-and-tear damage to the woven
+// wires. The pattern is deterministic for a given seed and never partitions
+// the fabric.
+func WithFailedLinks(fraction float64, seed uint64) Option {
+	return func(s *Strategy) {
+		s.FailedLinkFraction = fraction
+		s.FailedLinkSeed = seed
+	}
+}
+
+// New builds a strategy for an n x n mesh with the paper's defaults: AES-128,
+// checkerboard mapping, EAR routing, thin-film node batteries and a single
+// infinite-energy controller, then applies the options.
+func New(meshSize int, opts ...Option) (*Strategy, error) {
+	mesh, err := topology.NewSquareMesh(meshSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Strategy{
+		Label:          fmt.Sprintf("EAR-%dx%d", meshSize, meshSize),
+		Mesh:           mesh,
+		App:            app.AES128(),
+		Mapper:         mapping.Checkerboard{},
+		Algorithm:      routing.NewEAR(),
+		NodeBattery:    battery.DefaultThinFilmFactory(),
+		Line:           energy.PaperTransmissionLine(),
+		TDMA:           tdma.DefaultParams(),
+		Controllers:    1,
+		ConcurrentJobs: 1,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// EAR returns the paper's energy-aware routing strategy on an n x n mesh.
+func EAR(meshSize int, opts ...Option) (*Strategy, error) {
+	return New(meshSize, opts...)
+}
+
+// SDR returns the non-energy-aware shortest-distance counterpart on an n x n
+// mesh (everything identical to EAR except the routing algorithm, as required
+// for the paper's fair comparison).
+func SDR(meshSize int, opts ...Option) (*Strategy, error) {
+	s, err := New(meshSize, append([]Option{WithAlgorithm(routing.SDR{})}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	s.Label = fmt.Sprintf("SDR-%dx%d", meshSize, meshSize)
+	return s, nil
+}
+
+// Config materialises the strategy into a simulator configuration.
+func (s *Strategy) Config() (sim.Config, error) {
+	if s.FailedLinkFraction > 0 {
+		if _, err := topology.FailLinks(s.Mesh.Graph, s.FailedLinkFraction, s.FailedLinkSeed); err != nil {
+			return sim.Config{}, err
+		}
+		// The faults are now part of the topology; don't re-apply them if
+		// Config is called again.
+		s.FailedLinkFraction = 0
+	}
+	m, err := s.Mapper.Map(s.Mesh.Graph, s.App)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Graph:              s.Mesh.Graph,
+		App:                s.App,
+		Mapping:            m,
+		Algorithm:          s.Algorithm,
+		NodeBattery:        s.NodeBattery,
+		Line:               s.Line,
+		TDMA:               s.TDMA,
+		Controllers:        s.Controllers,
+		ControllerBattery:  s.ControllerBattery,
+		ControllerPower:    energy.PaperController4x4(),
+		BatteryLevels:      routing.DefaultEARParams().Levels,
+		ComputeCyclesPerOp: 4,
+		LinkWidthBits:      8,
+		ConcurrentJobs:     s.ConcurrentJobs,
+		NodeBufferJobs:     1,
+		Source:             s.Mesh.Corner(),
+		Key:                s.Key,
+		CollectNodeStats:   s.CollectNodeStats,
+		MaxCycles:          s.MaxCycles,
+	}
+	if ear, ok := s.Algorithm.(routing.EAR); ok && ear.Params.Levels > 0 {
+		cfg.BatteryLevels = ear.Params.Levels
+	}
+	return cfg, nil
+}
+
+// Simulate runs et_sim for this strategy and returns the result.
+func (s *Strategy) Simulate() (sim.Result, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	simulator, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return simulator.Run(), nil
+}
+
+// UpperBound evaluates Theorem 1 for this strategy's application, mesh and
+// battery budget (the nominal capacity of one node battery).
+func (s *Strategy) UpperBound() (analytic.Bound, error) {
+	budget := s.NodeBattery().NominalPJ()
+	return analytic.MeshUpperBound(s.App, s.Line, s.Mesh.SpacingCM(), budget, s.Mesh.Size())
+}

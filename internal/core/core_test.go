@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/aes"
+	"repro/internal/app"
+	"repro/internal/battery"
+	"repro/internal/mapping"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/tdma"
+)
+
+func TestEARStrategyDefaults(t *testing.T) {
+	s, err := EAR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "EAR-4x4" {
+		t.Errorf("Label = %q", s.Label)
+	}
+	if s.Algorithm.Name() != "EAR" {
+		t.Errorf("algorithm = %s", s.Algorithm.Name())
+	}
+	if s.Mesh.Size() != 16 || s.App.Name != "AES-128" || s.Controllers != 1 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("materialised config invalid: %v", err)
+	}
+}
+
+func TestSDRStrategyDiffersOnlyInAlgorithm(t *testing.T) {
+	ear, err := EAR(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdr, err := SDR(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdr.Algorithm.Name() != "SDR" || sdr.Label != "SDR-5x5" {
+		t.Errorf("SDR strategy = %+v", sdr)
+	}
+	if ear.Mesh.Size() != sdr.Mesh.Size() || ear.App.Name != sdr.App.Name ||
+		ear.Controllers != sdr.Controllers || ear.ConcurrentJobs != sdr.ConcurrentJobs {
+		t.Error("EAR and SDR strategies differ in more than the routing algorithm")
+	}
+}
+
+func TestStrategyConstructionErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := SDR(-3); err == nil {
+		t.Error("SDR(-3) should fail")
+	}
+}
+
+func TestOptionsAreApplied(t *testing.T) {
+	customTDMA := tdma.DefaultParams()
+	customTDMA.FramePeriodCycles = 2048
+	key := make([]byte, 16)
+	customApp, err := app.AES(aes.Key192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(6,
+		WithAlgorithm(routing.SDR{}),
+		WithMapping(mapping.RowMajor{}),
+		WithIdealBatteries(),
+		WithControllers(7, true),
+		WithConcurrentJobs(2),
+		WithApplication(customApp),
+		WithTDMA(customTDMA),
+		WithPayloadVerification(key),
+		WithNodeStats(),
+		WithMaxCycles(12345),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm.Name() != "SDR" {
+		t.Error("WithAlgorithm not applied")
+	}
+	if s.Mapper.Name() != "row-major-blocks" {
+		t.Error("WithMapping not applied")
+	}
+	if s.NodeBattery().NominalPJ() != battery.DefaultNominalPJ {
+		t.Error("WithIdealBatteries produced unexpected capacity")
+	}
+	if _, ok := s.NodeBattery().(*battery.Ideal); !ok {
+		t.Error("WithIdealBatteries did not produce ideal batteries")
+	}
+	if s.Controllers != 7 || s.ControllerBattery == nil {
+		t.Error("WithControllers not applied")
+	}
+	if s.ConcurrentJobs != 2 {
+		t.Error("WithConcurrentJobs not applied")
+	}
+	if s.App.Name != "AES-192" {
+		t.Error("WithApplication not applied")
+	}
+	if s.TDMA.FramePeriodCycles != 2048 {
+		t.Error("WithTDMA not applied")
+	}
+	if len(s.Key) != 16 || !s.CollectNodeStats || s.MaxCycles != 12345 {
+		t.Error("payload/stats/max-cycles options not applied")
+	}
+	if _, err := s.Config(); err != nil {
+		t.Fatalf("Config() with options: %v", err)
+	}
+}
+
+func TestWithControllersInfinite(t *testing.T) {
+	s, err := EAR(4, WithControllers(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Controllers != 3 || s.ControllerBattery != nil {
+		t.Errorf("WithControllers(3, false) = %d controllers, battery %v", s.Controllers, s.ControllerBattery)
+	}
+}
+
+func TestSimulateAndUpperBound(t *testing.T) {
+	s, err := EAR(4, WithMaxCycles(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted == 0 {
+		t.Fatal("no jobs completed")
+	}
+	bound, err := s.UpperBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Jobs < 131 || bound.Jobs > 132 {
+		t.Errorf("4x4 upper bound = %.2f, want ~131.4 (Table 2)", bound.Jobs)
+	}
+	if float64(res.JobsCompleted) > bound.Jobs {
+		t.Errorf("simulated jobs (%d) exceed the upper bound (%.2f)", res.JobsCompleted, bound.Jobs)
+	}
+}
+
+func TestEARLevelsPropagateToConfig(t *testing.T) {
+	params := routing.EARParams{Q: 3, Levels: 16}
+	s, err := EAR(4, WithAlgorithm(routing.EAR{Params: params}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BatteryLevels != 16 {
+		t.Errorf("BatteryLevels = %d, want 16 from the EAR parameters", cfg.BatteryLevels)
+	}
+}
+
+func TestConfigErrorsOnImpossibleMapping(t *testing.T) {
+	// A two-module application cannot be mapped with the checkerboard rule;
+	// Config must surface the mapping error.
+	b := app.NewBuilder("two")
+	m1 := b.AddModule("a", 10)
+	m2 := b.AddModule("b", 10)
+	twoMod, err := b.Step(m1).Step(m2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := EAR(4, WithApplication(twoMod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Config(); err == nil {
+		t.Fatal("Config should fail when the mapping strategy rejects the application")
+	}
+	if _, err := s.Simulate(); err == nil {
+		t.Fatal("Simulate should fail when the mapping strategy rejects the application")
+	}
+}
+
+func TestWithFailedLinksDegradesTopologyOnce(t *testing.T) {
+	s, err := EAR(5, WithFailedLinks(0.2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := 2 * (2*5*5 - 5 - 5)
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := cfg.Graph.LinkCount()
+	if damaged >= intact {
+		t.Fatalf("no links were removed: %d links", damaged)
+	}
+	if !cfg.Graph.Connected() {
+		t.Fatal("fault injection disconnected the mesh")
+	}
+	// Calling Config again must not remove further links.
+	cfg2, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Graph.LinkCount() != damaged {
+		t.Fatalf("second Config call changed the topology: %d -> %d links", damaged, cfg2.Graph.LinkCount())
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted == 0 {
+		t.Fatal("no jobs completed on the damaged mesh")
+	}
+	// An invalid fraction must surface as an error.
+	bad, err := EAR(4, WithFailedLinks(1.2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("invalid failure fraction accepted")
+	}
+}
+
+func TestStrategySimulateMatchesDirectSimUse(t *testing.T) {
+	s, err := EAR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStrategy, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulator, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := simulator.Run()
+	if viaStrategy.JobsCompleted != direct.JobsCompleted || viaStrategy.LifetimeCycles != direct.LifetimeCycles {
+		t.Errorf("facade result (%d jobs) differs from direct sim result (%d jobs)",
+			viaStrategy.JobsCompleted, direct.JobsCompleted)
+	}
+}

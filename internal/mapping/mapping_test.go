@@ -1,0 +1,329 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/topology"
+)
+
+func TestCheckerboardOn4x4MatchesFig3b(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	m, err := Checkerboard{}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 3(b): 4 nodes of module 1, 4 of module 2, 8 of module 3.
+	if m.Count(1) != 4 || m.Count(2) != 4 || m.Count(3) != 8 {
+		t.Fatalf("counts = %v, want module1=4 module2=4 module3=8", m.Counts())
+	}
+	// Spot-check specific coordinates against the paper's figure:
+	// (1,1) both odd -> module 1; (2,2) both even -> module 2; (2,1) -> module 3.
+	checks := []struct {
+		x, y int
+		want app.ModuleID
+	}{
+		{1, 1, 1}, {3, 3, 1}, {2, 2, 2}, {4, 4, 2}, {2, 1, 3}, {1, 2, 3}, {4, 3, 3},
+	}
+	for _, c := range checks {
+		id, ok := mesh.IDAt(c.x, c.y)
+		if !ok {
+			t.Fatalf("no node at (%d,%d)", c.x, c.y)
+		}
+		if got := m.ModuleAt(id); got != c.want {
+			t.Errorf("node (%d,%d) mapped to module %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+	if m.AssignedNodes() != 16 {
+		t.Errorf("AssignedNodes = %d, want 16", m.AssignedNodes())
+	}
+	if err := m.Validate(appl, 16); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCheckerboardModule3GetsHalfTheNodes(t *testing.T) {
+	// For any even-sized mesh the checkerboard rule gives module 3 exactly
+	// half the nodes, the paper's approximation of the Theorem-1 rule.
+	for _, n := range []int{4, 6, 8} {
+		mesh := topology.MustMesh(n, n, 1)
+		m, err := Checkerboard{}.Map(mesh.Graph, app.AES128())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Count(3) != n*n/2 {
+			t.Errorf("%dx%d: module 3 count = %d, want %d", n, n, m.Count(3), n*n/2)
+		}
+	}
+}
+
+func TestCheckerboardRequiresThreeModules(t *testing.T) {
+	b := app.NewBuilder("two-module")
+	m1 := b.AddModule("a", 10)
+	m2 := b.AddModule("b", 20)
+	appl, err := b.Step(m1).Step(m2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := topology.MustMesh(4, 4, 1)
+	if _, err := (Checkerboard{}).Map(mesh.Graph, appl); err == nil {
+		t.Fatal("checkerboard accepted a non-3-module application")
+	}
+}
+
+func TestCheckerboardOddMeshStillCoversAllModules(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		mesh := topology.MustMesh(n, n, 1)
+		m, err := Checkerboard{}.Map(mesh.Graph, app.AES128())
+		if err != nil {
+			t.Fatalf("%dx%d: %v", n, n, err)
+		}
+		for id := app.ModuleID(1); id <= 3; id++ {
+			if m.Count(id) == 0 {
+				t.Errorf("%dx%d: module %d has no duplicates", n, n, id)
+			}
+		}
+		total := m.Count(1) + m.Count(2) + m.Count(3)
+		if total != n*n {
+			t.Errorf("%dx%d: assigned %d nodes, want %d", n, n, total, n*n)
+		}
+	}
+}
+
+func TestProportionalFollowsWeights(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	// Use the AES normalized-energy-like weights: module 3 heaviest.
+	weights := []float64{2368.0, 1710.4, 3225.8}
+	m, err := Proportional{Weights: weights}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AssignedNodes() != 16 {
+		t.Fatalf("AssignedNodes = %d, want 16", m.AssignedNodes())
+	}
+	// Theorem 1 exact shares: 5.19, 3.75, 7.07 -> expect counts close to 5/4/7.
+	if m.Count(3) < m.Count(1) || m.Count(1) < m.Count(2) {
+		t.Errorf("counts %v do not follow weight ordering", m.Counts())
+	}
+	if m.Count(1)+m.Count(2)+m.Count(3) != 16 {
+		t.Errorf("counts %v do not sum to 16", m.Counts())
+	}
+	for id := app.ModuleID(1); id <= 3; id++ {
+		if m.Count(id) == 0 {
+			t.Errorf("module %d has zero duplicates", id)
+		}
+	}
+}
+
+func TestProportionalValidation(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	if _, err := (Proportional{Weights: []float64{1, 2}}).Map(mesh.Graph, appl); err == nil {
+		t.Error("wrong number of weights accepted")
+	}
+	if _, err := (Proportional{Weights: []float64{1, -1, 2}}).Map(mesh.Graph, appl); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := (Proportional{Weights: []float64{1, 0, 2}}).Map(mesh.Graph, appl); err == nil {
+		t.Error("zero weight accepted")
+	}
+	tiny := topology.MustMesh(1, 2, 1)
+	if _, err := (Proportional{Weights: []float64{1, 1, 1}}).Map(tiny.Graph, appl); err == nil {
+		t.Error("graph smaller than module count accepted")
+	}
+}
+
+func TestProportionalInterleavesDuplicates(t *testing.T) {
+	// Error diffusion should avoid putting all duplicates of a module in one
+	// contiguous block: in a 4x4 mesh with equal weights, no single row may
+	// contain four nodes of the same module.
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	m, err := Proportional{Weights: []float64{1, 1, 1}}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 1; y <= 4; y++ {
+		rowCounts := map[app.ModuleID]int{}
+		for x := 1; x <= 4; x++ {
+			id, _ := mesh.IDAt(x, y)
+			rowCounts[m.ModuleAt(id)]++
+		}
+		for mod, c := range rowCounts {
+			if c == 4 {
+				t.Errorf("row %d is entirely module %d; duplicates are not interleaved", y, mod)
+			}
+		}
+	}
+}
+
+func TestRowMajorBlocksProportionalToOps(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	m, err := RowMajor{}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = (10, 9, 11) over 16 nodes -> roughly 5/5/6.
+	if m.Count(1)+m.Count(2)+m.Count(3) != 16 {
+		t.Fatalf("counts %v do not sum to 16", m.Counts())
+	}
+	for id := app.ModuleID(1); id <= 3; id++ {
+		if m.Count(id) < 4 || m.Count(id) > 7 {
+			t.Errorf("module %d count = %d, want between 4 and 7", id, m.Count(id))
+		}
+	}
+	// Row-major clustering: the first row must be homogeneous.
+	first, _ := mesh.IDAt(1, 1)
+	mod := m.ModuleAt(first)
+	for x := 2; x <= 4; x++ {
+		id, _ := mesh.IDAt(x, 1)
+		if m.ModuleAt(id) != mod {
+			t.Errorf("row-major mapping is not clustered in the first row")
+		}
+	}
+}
+
+func TestRandomMappingIsDeterministicPerSeed(t *testing.T) {
+	mesh := topology.MustMesh(5, 5, 1)
+	appl := app.AES128()
+	m1, err := Random{Seed: 42}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Random{Seed: 42}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Random{Seed: 7}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	differs := false
+	for _, n := range mesh.Nodes() {
+		if m1.ModuleAt(n.ID) != m2.ModuleAt(n.ID) {
+			same = false
+		}
+		if m1.ModuleAt(n.ID) != m3.ModuleAt(n.ID) {
+			differs = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different mappings")
+	}
+	if !differs {
+		t.Error("different seeds produced identical mappings (suspicious)")
+	}
+	for id := app.ModuleID(1); id <= 3; id++ {
+		if m1.Count(id) == 0 {
+			t.Errorf("module %d has no duplicates under random mapping", id)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Checkerboard{}).Name() != "checkerboard" {
+		t.Error("Checkerboard name wrong")
+	}
+	if (Proportional{}).Name() != "theorem1-proportional" {
+		t.Error("Proportional name wrong")
+	}
+	if (RowMajor{}).Name() != "row-major-blocks" {
+		t.Error("RowMajor name wrong")
+	}
+	if (Random{Seed: 3}).Name() != "random(seed=3)" {
+		t.Error("Random name wrong")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	m, err := Checkerboard{}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(appl, 15); err == nil {
+		t.Error("mapping exceeding the node budget accepted")
+	}
+	// A mapping missing one module must fail validation.
+	partial := New(map[topology.NodeID]app.ModuleID{0: 1, 1: 2})
+	if err := partial.Validate(appl, 16); err == nil {
+		t.Error("mapping without module 3 accepted")
+	}
+	// Unknown module IDs must fail validation.
+	bogus := New(map[topology.NodeID]app.ModuleID{0: 1, 1: 2, 2: 3, 3: 9})
+	if err := bogus.Validate(appl, 16); err == nil {
+		t.Error("mapping with unknown module accepted")
+	}
+}
+
+func TestUnassignedNodesAreIgnored(t *testing.T) {
+	m := New(map[topology.NodeID]app.ModuleID{
+		0: 1, 1: 2, 2: 3, 3: Unassigned,
+	})
+	if m.AssignedNodes() != 3 {
+		t.Fatalf("AssignedNodes = %d, want 3", m.AssignedNodes())
+	}
+	if m.ModuleAt(3) != Unassigned {
+		t.Errorf("node 3 module = %d, want Unassigned", m.ModuleAt(3))
+	}
+	if m.ModuleAt(99) != Unassigned {
+		t.Errorf("unknown node module = %d, want Unassigned", m.ModuleAt(99))
+	}
+}
+
+func TestNodesForReturnsSortedCopy(t *testing.T) {
+	m := New(map[topology.NodeID]app.ModuleID{5: 1, 2: 1, 9: 1, 3: 2})
+	nodes := m.NodesFor(1)
+	want := []topology.NodeID{2, 5, 9}
+	if len(nodes) != 3 {
+		t.Fatalf("NodesFor(1) = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("NodesFor(1) = %v, want %v", nodes, want)
+		}
+	}
+	nodes[0] = 77
+	if m.NodesFor(1)[0] == 77 {
+		t.Fatal("mutating NodesFor result changed mapping state")
+	}
+	if len(m.NodesFor(9)) != 0 {
+		t.Fatal("NodesFor of unknown module should be empty")
+	}
+}
+
+func TestAllStrategiesSatisfyBudgetProperty(t *testing.T) {
+	appl := app.AES128()
+	strategies := []Strategy{
+		Checkerboard{},
+		Proportional{Weights: []float64{2368, 1710, 3226}},
+		RowMajor{},
+		Random{Seed: 99},
+	}
+	prop := func(sizeRaw uint8, stratIdx uint8) bool {
+		n := int(sizeRaw%6) + 3 // 3..8
+		mesh := topology.MustMesh(n, n, 1)
+		s := strategies[int(stratIdx)%len(strategies)]
+		m, err := s.Map(mesh.Graph, appl)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for id := app.ModuleID(1); id <= 3; id++ {
+			if m.Count(id) == 0 {
+				return false
+			}
+			total += m.Count(id)
+		}
+		return total <= mesh.Size() && m.Validate(appl, mesh.Size()) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// ShortestPaths is the result of phase 2: the all-pairs distance matrix D and
+// the successor matrix S. Succ[i][j] is the next hop on a shortest path from
+// i to j, or topology.Invalid when j is unreachable from i.
+type ShortestPaths struct {
+	Dist Matrix
+	Succ [][]topology.NodeID
+}
+
+// AllPairs runs the Floyd–Warshall variant of Fig 5 on the weight matrix W,
+// computing shortest distances and successors for every ordered node pair.
+// Ties are broken towards the successor with the smaller node ID so the
+// result is deterministic regardless of iteration order.
+func AllPairs(w Matrix) *ShortestPaths {
+	k := w.Dim()
+	dist := NewMatrix(k)
+	succ := make([][]topology.NodeID, k)
+	for i := 0; i < k; i++ {
+		succ[i] = make([]topology.NodeID, k)
+		for j := 0; j < k; j++ {
+			dist[i][j] = w[i][j]
+			switch {
+			case i == j:
+				succ[i][j] = topology.NodeID(i)
+			case w[i][j] < Inf:
+				succ[i][j] = topology.NodeID(j)
+			default:
+				succ[i][j] = topology.Invalid
+			}
+		}
+	}
+	for n := 0; n < k; n++ {
+		for i := 0; i < k; i++ {
+			if i == n || dist[i][n] == Inf {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if j == n || j == i || dist[n][j] == Inf {
+					continue
+				}
+				through := dist[i][n] + dist[n][j]
+				switch {
+				case through < dist[i][j]:
+					dist[i][j] = through
+					succ[i][j] = succ[i][n]
+				case through == dist[i][j] && succ[i][n] != topology.Invalid &&
+					(succ[i][j] == topology.Invalid || succ[i][n] < succ[i][j]):
+					succ[i][j] = succ[i][n]
+				}
+			}
+		}
+	}
+	return &ShortestPaths{Dist: dist, Succ: succ}
+}
+
+// Reachable reports whether dst is reachable from src.
+func (sp *ShortestPaths) Reachable(src, dst topology.NodeID) bool {
+	return sp.Dist[src][dst] < Inf
+}
+
+// Path reconstructs the node sequence of a shortest path from src to dst
+// (inclusive of both endpoints) by following successors. It returns an error
+// if dst is unreachable or a successor loop is detected (which would indicate
+// a corrupted matrix).
+func (sp *ShortestPaths) Path(src, dst topology.NodeID) ([]topology.NodeID, error) {
+	k := len(sp.Dist)
+	if int(src) < 0 || int(src) >= k || int(dst) < 0 || int(dst) >= k {
+		return nil, fmt.Errorf("routing: path endpoints %d -> %d out of range", src, dst)
+	}
+	if !sp.Reachable(src, dst) {
+		return nil, fmt.Errorf("routing: node %d unreachable from %d", dst, src)
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	for cur != dst {
+		next := sp.Succ[cur][dst]
+		if next == topology.Invalid {
+			return nil, fmt.Errorf("routing: missing successor from %d towards %d", cur, dst)
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > k {
+			return nil, fmt.Errorf("routing: successor loop detected between %d and %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// HopCount returns the number of hops on the shortest path from src to dst,
+// or -1 if unreachable.
+func (sp *ShortestPaths) HopCount(src, dst topology.NodeID) int {
+	p, err := sp.Path(src, dst)
+	if err != nil {
+		return -1
+	}
+	return len(p) - 1
+}

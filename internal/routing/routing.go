@@ -1,0 +1,212 @@
+// Package routing implements the two online routing algorithms compared in
+// the paper — the energy-aware routing algorithm (EAR) and its
+// shortest-distance counterpart (SDR) — together with the three phases both
+// share (Sec 6):
+//
+//	Phase 1: build the directed edge-weight matrix. SDR weighs an edge by its
+//	         physical length only; EAR additionally multiplies the length by
+//	         an exponential function of the destination node's reported
+//	         battery level, steering traffic away from depleted nodes.
+//	Phase 2: run an all-pairs shortest-path computation (a Floyd–Warshall
+//	         variant that also produces the successor matrix, Fig 5).
+//	Phase 3: choose, for every node and every module, the destination
+//	         duplicate with the smallest distance while avoiding next hops
+//	         that are currently reported deadlocked (Fig 6), producing the
+//	         routing tables downloaded to the nodes.
+//
+// The package is purely computational: it consumes a snapshot of the system
+// state (alive flags, quantised battery levels, deadlock flags) as collected
+// by the TDMA control mechanism and produces routing tables. Energy
+// accounting and time live in the sim package.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Inf is the weight of a non-existent edge.
+var Inf = math.Inf(1)
+
+// NodeStatus is the per-node information reported to the central controller
+// during the node's TDMA upload slot.
+type NodeStatus struct {
+	// Alive is false once the node's battery is depleted; dead nodes can
+	// neither compute nor relay and are excluded from routing.
+	Alive bool
+	// BatteryLevel is the quantised remaining-capacity level NB(j), in
+	// 0..Levels-1 (higher means more charge).
+	BatteryLevel int
+	// Deadlocked reports that a job has been stuck at this node longer than
+	// the deadlock threshold; phase 3 will steer the node away from its
+	// current next hop.
+	Deadlocked bool
+}
+
+// SystemState is the snapshot the controller runs the routing algorithm on.
+type SystemState struct {
+	// Graph is the physical topology.
+	Graph *topology.Graph
+	// Status maps every node to its last reported status. Nodes missing from
+	// the map are treated as dead.
+	Status map[topology.NodeID]NodeStatus
+	// Levels is the number of quantisation levels used for BatteryLevel.
+	Levels int
+}
+
+// Alive reports whether node id is alive in this snapshot.
+func (s *SystemState) Alive(id topology.NodeID) bool { return s.Status[id].Alive }
+
+// Equal reports whether two snapshots would lead the controller to the same
+// routing decision; the controller only re-runs the routing algorithm when
+// the reported information changed (Sec 6).
+func (s *SystemState) Equal(o *SystemState) bool {
+	if o == nil || s.Levels != o.Levels || len(s.Status) != len(o.Status) {
+		return false
+	}
+	for id, st := range s.Status {
+		if o.Status[id] != st {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *SystemState) Clone() *SystemState {
+	c := &SystemState{Graph: s.Graph, Levels: s.Levels, Status: make(map[topology.NodeID]NodeStatus, len(s.Status))}
+	for id, st := range s.Status {
+		c.Status[id] = st
+	}
+	return c
+}
+
+// Matrix is a dense KxK weight or distance matrix indexed by NodeID.
+type Matrix [][]float64
+
+// NewMatrix allocates a KxK matrix filled with Inf off-diagonal and 0 on the
+// diagonal.
+func NewMatrix(k int) Matrix {
+	m := make(Matrix, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = Inf
+			}
+		}
+	}
+	return m
+}
+
+// Dim returns the matrix dimension.
+func (m Matrix) Dim() int { return len(m) }
+
+// Algorithm builds phase-1 edge weights from a system snapshot. SDR and EAR
+// differ only in this phase; phases 2 and 3 are shared.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output ("SDR" or "EAR").
+	Name() string
+	// Weights returns the directed edge-weight matrix W for the snapshot.
+	Weights(state *SystemState) Matrix
+	// NeedsBatteryInfo reports whether the algorithm's weights depend on the
+	// reported battery levels. The controller re-runs the routing algorithm
+	// only when information it actually uses has changed.
+	NeedsBatteryInfo() bool
+}
+
+// SDR is the shortest-distance routing algorithm: the weight of an existing
+// edge is the physical length of the interconnect.
+type SDR struct{}
+
+// Name implements Algorithm.
+func (SDR) Name() string { return "SDR" }
+
+// NeedsBatteryInfo implements Algorithm: SDR ignores battery levels.
+func (SDR) NeedsBatteryInfo() bool { return false }
+
+// Weights implements Algorithm.
+func (SDR) Weights(state *SystemState) Matrix {
+	k := state.Graph.NodeCount()
+	w := NewMatrix(k)
+	for _, l := range state.Graph.Links() {
+		if !state.Alive(l.From) || !state.Alive(l.To) {
+			continue
+		}
+		w[l.From][l.To] = l.LengthCM
+	}
+	return w
+}
+
+// EARParams tunes the energy-aware weighting function
+// f(n) = Q^(Levels - 1 - n), which multiplies the physical length of an edge
+// by an exponentially growing penalty as the destination node's battery
+// level n decreases.
+type EARParams struct {
+	// Q is the base of the exponential penalty (Q > 0; the paper uses a
+	// constant Q to "strengthen the impact of the battery information").
+	Q float64
+	// Levels is the number of battery quantisation levels N_B.
+	Levels int
+}
+
+// DefaultEARParams returns the calibration used for the paper reproduction:
+// eight battery levels and Q = 2.
+func DefaultEARParams() EARParams { return EARParams{Q: 2, Levels: 8} }
+
+// Validate checks the parameters.
+func (p EARParams) Validate() error {
+	if p.Q <= 0 {
+		return fmt.Errorf("routing: EAR Q must be positive, got %g", p.Q)
+	}
+	if p.Levels < 2 {
+		return fmt.Errorf("routing: EAR needs at least 2 battery levels, got %d", p.Levels)
+	}
+	return nil
+}
+
+// Penalty returns f(level) for a battery level in 0..Levels-1.
+func (p EARParams) Penalty(level int) float64 {
+	if level < 0 {
+		level = 0
+	}
+	if level > p.Levels-1 {
+		level = p.Levels - 1
+	}
+	return math.Pow(p.Q, float64(p.Levels-1-level))
+}
+
+// EAR is the energy-aware routing algorithm.
+type EAR struct {
+	Params EARParams
+}
+
+// NewEAR returns an EAR instance with the default parameters.
+func NewEAR() EAR { return EAR{Params: DefaultEARParams()} }
+
+// Name implements Algorithm.
+func (EAR) Name() string { return "EAR" }
+
+// NeedsBatteryInfo implements Algorithm: EAR weights edges by the reported
+// battery level of the receiving node.
+func (EAR) NeedsBatteryInfo() bool { return true }
+
+// Weights implements Algorithm.
+func (e EAR) Weights(state *SystemState) Matrix {
+	params := e.Params
+	if params.Levels == 0 {
+		params = DefaultEARParams()
+	}
+	k := state.Graph.NodeCount()
+	w := NewMatrix(k)
+	for _, l := range state.Graph.Links() {
+		if !state.Alive(l.From) || !state.Alive(l.To) {
+			continue
+		}
+		level := state.Status[l.To].BatteryLevel
+		w[l.From][l.To] = params.Penalty(level) * l.LengthCM
+	}
+	return w
+}

@@ -1,0 +1,442 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/topology"
+)
+
+// fullState returns a snapshot in which every node of g is alive with a full
+// battery.
+func fullState(g *topology.Graph, levels int) *SystemState {
+	st := &SystemState{Graph: g, Levels: levels, Status: make(map[topology.NodeID]NodeStatus)}
+	for _, n := range g.Nodes() {
+		st.Status[n.ID] = NodeStatus{Alive: true, BatteryLevel: levels - 1}
+	}
+	return st
+}
+
+func TestSDRWeightsMatchLinkLengths(t *testing.T) {
+	mesh := topology.MustMesh(3, 3, 2.5)
+	state := fullState(mesh.Graph, 8)
+	w := SDR{}.Weights(state)
+	if w.Dim() != 9 {
+		t.Fatalf("weight matrix dimension = %d, want 9", w.Dim())
+	}
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	c, _ := mesh.IDAt(3, 3)
+	if w[a][b] != 2.5 {
+		t.Errorf("adjacent weight = %g, want 2.5", w[a][b])
+	}
+	if w[a][a] != 0 {
+		t.Errorf("diagonal weight = %g, want 0", w[a][a])
+	}
+	if !math.IsInf(w[a][c], 1) {
+		t.Errorf("non-adjacent weight = %g, want +Inf", w[a][c])
+	}
+}
+
+func TestWeightsExcludeDeadNodes(t *testing.T) {
+	mesh := topology.MustMesh(2, 2, 1)
+	state := fullState(mesh.Graph, 8)
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	state.Status[b] = NodeStatus{Alive: false}
+	for _, alg := range []Algorithm{SDR{}, NewEAR()} {
+		w := alg.Weights(state)
+		if !math.IsInf(w[a][b], 1) {
+			t.Errorf("%s: edge into dead node has weight %g, want +Inf", alg.Name(), w[a][b])
+		}
+		if !math.IsInf(w[b][a], 1) {
+			t.Errorf("%s: edge out of dead node has weight %g, want +Inf", alg.Name(), w[b][a])
+		}
+	}
+}
+
+func TestEARPenaltyFunction(t *testing.T) {
+	p := EARParams{Q: 2, Levels: 8}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Penalty(7); got != 1 {
+		t.Errorf("Penalty(full) = %g, want 1", got)
+	}
+	if got := p.Penalty(0); got != 128 {
+		t.Errorf("Penalty(empty) = %g, want 2^7 = 128", got)
+	}
+	if got := p.Penalty(4); got != 8 {
+		t.Errorf("Penalty(4) = %g, want 8", got)
+	}
+	// Out-of-range levels are clamped.
+	if p.Penalty(-3) != p.Penalty(0) || p.Penalty(99) != p.Penalty(7) {
+		t.Error("penalty did not clamp out-of-range levels")
+	}
+	if (EARParams{Q: 0, Levels: 8}).Validate() == nil {
+		t.Error("Q=0 accepted")
+	}
+	if (EARParams{Q: 2, Levels: 1}).Validate() == nil {
+		t.Error("single level accepted")
+	}
+}
+
+func TestEARWeightsPenalizeLowBattery(t *testing.T) {
+	mesh := topology.MustMesh(3, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	c, _ := mesh.IDAt(3, 1)
+	// Node b is nearly depleted.
+	state.Status[b] = NodeStatus{Alive: true, BatteryLevel: 1}
+	ear := NewEAR()
+	w := ear.Weights(state)
+	if w[a][b] <= w[b][c] {
+		t.Errorf("edge into depleted node (%g) should weigh more than edge into full node (%g)",
+			w[a][b], w[b][c])
+	}
+	want := ear.Params.Penalty(1) * 1.0
+	if w[a][b] != want {
+		t.Errorf("weight into depleted node = %g, want %g", w[a][b], want)
+	}
+	// Zero-value EAR falls back to default parameters rather than dividing by zero.
+	var zeroEAR EAR
+	wz := zeroEAR.Weights(state)
+	if math.IsNaN(wz[a][b]) || wz[a][b] <= 0 {
+		t.Errorf("zero-value EAR produced weight %g", wz[a][b])
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if (SDR{}).Name() != "SDR" || (EAR{}).Name() != "EAR" {
+		t.Error("algorithm names wrong")
+	}
+}
+
+func TestAllPairsOnLineGraph(t *testing.T) {
+	mesh := topology.MustMesh(4, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	sp := AllPairs(SDR{}.Weights(state))
+	a, _ := mesh.IDAt(1, 1)
+	d, _ := mesh.IDAt(4, 1)
+	if sp.Dist[a][d] != 3 {
+		t.Errorf("distance end-to-end = %g, want 3", sp.Dist[a][d])
+	}
+	path, err := sp.Path(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 || path[0] != a || path[3] != d {
+		t.Errorf("path = %v, want the 4-node line", path)
+	}
+	if sp.HopCount(a, d) != 3 {
+		t.Errorf("HopCount = %d, want 3", sp.HopCount(a, d))
+	}
+	if sp.HopCount(a, a) != 0 {
+		t.Errorf("HopCount(a,a) = %d, want 0", sp.HopCount(a, a))
+	}
+}
+
+func TestAllPairsMatchesManhattanOnMesh(t *testing.T) {
+	mesh := topology.MustMesh(5, 4, 2)
+	state := fullState(mesh.Graph, 8)
+	sp := AllPairs(SDR{}.Weights(state))
+	for _, from := range mesh.Nodes() {
+		for _, to := range mesh.Nodes() {
+			want := float64(from.Pos.Manhattan(to.Pos)) * 2
+			if math.Abs(sp.Dist[from.ID][to.ID]-want) > 1e-9 {
+				t.Fatalf("dist %v -> %v = %g, want %g", from.Pos, to.Pos, sp.Dist[from.ID][to.ID], want)
+			}
+		}
+	}
+}
+
+func TestAllPairsUnreachableAndDeadNodes(t *testing.T) {
+	mesh := topology.MustMesh(3, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	c, _ := mesh.IDAt(3, 1)
+	// Killing the middle node of a line disconnects the endpoints.
+	state.Status[b] = NodeStatus{Alive: false}
+	sp := AllPairs(SDR{}.Weights(state))
+	if sp.Reachable(a, c) {
+		t.Error("endpoints should be unreachable with the middle node dead")
+	}
+	if _, err := sp.Path(a, c); err == nil {
+		t.Error("Path across a dead node should fail")
+	}
+	if sp.HopCount(a, c) != -1 {
+		t.Errorf("HopCount unreachable = %d, want -1", sp.HopCount(a, c))
+	}
+	if _, err := sp.Path(a, topology.NodeID(99)); err == nil {
+		t.Error("Path with out-of-range destination should fail")
+	}
+}
+
+func TestAllPairsTriangleInequalityProperty(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	state := fullState(mesh.Graph, 8)
+	// Give nodes varied battery levels so EAR weights are heterogeneous.
+	for id := range state.Status {
+		state.Status[id] = NodeStatus{Alive: true, BatteryLevel: int(id) % 8}
+	}
+	for _, alg := range []Algorithm{SDR{}, NewEAR()} {
+		sp := AllPairs(alg.Weights(state))
+		k := mesh.Size()
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				for via := 0; via < k; via++ {
+					if sp.Dist[i][j] > sp.Dist[i][via]+sp.Dist[via][j]+1e-9 {
+						t.Fatalf("%s: triangle inequality violated for %d,%d via %d", alg.Name(), i, j, via)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsPathDistanceConsistencyProperty(t *testing.T) {
+	prop := func(widthRaw, heightRaw uint8) bool {
+		w := int(widthRaw%5) + 2
+		h := int(heightRaw%5) + 2
+		mesh := topology.MustMesh(w, h, 1)
+		state := fullState(mesh.Graph, 8)
+		sp := AllPairs(SDR{}.Weights(state))
+		// The reconstructed path length must equal the reported distance.
+		for _, from := range mesh.Nodes() {
+			for _, to := range mesh.Nodes() {
+				path, err := sp.Path(from.ID, to.ID)
+				if err != nil {
+					return false
+				}
+				var total float64
+				for i := 1; i < len(path); i++ {
+					l, ok := mesh.Link(path[i-1], path[i])
+					if !ok {
+						return false
+					}
+					total += l.LengthCM
+				}
+				if math.Abs(total-sp.Dist[from.ID][to.ID]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTablesPicksNearestDuplicate(t *testing.T) {
+	mesh := topology.MustMesh(4, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	n1, _ := mesh.IDAt(1, 1)
+	n2, _ := mesh.IDAt(2, 1)
+	n3, _ := mesh.IDAt(3, 1)
+	n4, _ := mesh.IDAt(4, 1)
+	dests := map[app.ModuleID][]topology.NodeID{1: {n1, n4}}
+	sp := AllPairs(SDR{}.Weights(state))
+	tables := BuildTables(state, sp, dests, nil)
+	r, ok := tables[n2].RouteTo(1)
+	if !ok || r.Dest != n1 {
+		t.Fatalf("node 2 routes module 1 to %v, want nearest duplicate %d", r, n1)
+	}
+	r, ok = tables[n3].RouteTo(1)
+	if !ok || r.Dest != n4 {
+		t.Fatalf("node 3 routes module 1 to %v, want nearest duplicate %d", r, n4)
+	}
+	// A node that itself hosts the module routes to itself at distance 0.
+	r, _ = tables[n1].RouteTo(1)
+	if r.Dest != n1 || r.Distance != 0 || r.NextHop != n1 {
+		t.Fatalf("self-hosting node route = %+v, want self at distance 0", r)
+	}
+}
+
+func TestBuildTablesEARPrefersChargedDuplicate(t *testing.T) {
+	// Node in the middle of a 3-node line with duplicates at both ends at
+	// equal physical distance: EAR must pick the better-charged end, SDR the
+	// smaller node ID.
+	mesh := topology.MustMesh(3, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	left, _ := mesh.IDAt(1, 1)
+	mid, _ := mesh.IDAt(2, 1)
+	right, _ := mesh.IDAt(3, 1)
+	state.Status[left] = NodeStatus{Alive: true, BatteryLevel: 1}
+	state.Status[right] = NodeStatus{Alive: true, BatteryLevel: 7}
+	dests := map[app.ModuleID][]topology.NodeID{2: {left, right}}
+
+	sdrPlan := Compute(SDR{}, state, dests, nil)
+	rSDR, _ := sdrPlan.Tables[mid].RouteTo(2)
+	if rSDR.Dest != left {
+		t.Errorf("SDR picked %d, want the smaller-ID duplicate %d on a distance tie", rSDR.Dest, left)
+	}
+
+	earPlan := Compute(NewEAR(), state, dests, nil)
+	rEAR, _ := earPlan.Tables[mid].RouteTo(2)
+	if rEAR.Dest != right {
+		t.Errorf("EAR picked %d, want the well-charged duplicate %d", rEAR.Dest, right)
+	}
+}
+
+func TestBuildTablesSkipsDeadDuplicates(t *testing.T) {
+	mesh := topology.MustMesh(3, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	left, _ := mesh.IDAt(1, 1)
+	mid, _ := mesh.IDAt(2, 1)
+	right, _ := mesh.IDAt(3, 1)
+	state.Status[left] = NodeStatus{Alive: false}
+	dests := map[app.ModuleID][]topology.NodeID{1: {left, right}}
+	plan := Compute(SDR{}, state, dests, nil)
+	r, _ := plan.Tables[mid].RouteTo(1)
+	if r.Dest != right {
+		t.Errorf("route destination = %d, want the surviving duplicate %d", r.Dest, right)
+	}
+	// With every duplicate dead the route must be invalid.
+	state.Status[right] = NodeStatus{Alive: false}
+	plan = Compute(SDR{}, state, dests, nil)
+	r, _ = plan.Tables[mid].RouteTo(1)
+	if r.Valid() {
+		t.Errorf("route to a fully-dead module reported valid: %+v", r)
+	}
+}
+
+func TestBuildTablesDeadlockAvoidance(t *testing.T) {
+	// 3x1 line, node in the middle is deadlocked towards its previous next
+	// hop (left); the rebuilt table must redirect to the right duplicate even
+	// though it is equally far.
+	mesh := topology.MustMesh(3, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	left, _ := mesh.IDAt(1, 1)
+	mid, _ := mesh.IDAt(2, 1)
+	right, _ := mesh.IDAt(3, 1)
+	dests := map[app.ModuleID][]topology.NodeID{1: {left, right}}
+
+	first := Compute(SDR{}, state, dests, nil)
+	r0, _ := first.Tables[mid].RouteTo(1)
+	if r0.Dest != left {
+		t.Fatalf("initial route = %+v, want left duplicate", r0)
+	}
+
+	state.Status[mid] = NodeStatus{Alive: true, BatteryLevel: 7, Deadlocked: true}
+	second := Compute(SDR{}, state, dests, first.Tables)
+	r1, _ := second.Tables[mid].RouteTo(1)
+	if r1.Dest != right || r1.NextHop == r0.NextHop {
+		t.Fatalf("deadlocked node not redirected: before %+v, after %+v", r0, r1)
+	}
+}
+
+func TestBuildTablesDeadlockFallbackWhenNoAlternative(t *testing.T) {
+	// Only one duplicate exists; even though the node is deadlocked towards
+	// it, the route must fall back to that duplicate instead of becoming
+	// invalid.
+	mesh := topology.MustMesh(2, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	dests := map[app.ModuleID][]topology.NodeID{1: {b}}
+	first := Compute(SDR{}, state, dests, nil)
+	state.Status[a] = NodeStatus{Alive: true, BatteryLevel: 7, Deadlocked: true}
+	second := Compute(SDR{}, state, dests, first.Tables)
+	r, _ := second.Tables[a].RouteTo(1)
+	if !r.Valid() || r.Dest != b {
+		t.Fatalf("fallback route = %+v, want destination %d", r, b)
+	}
+}
+
+func TestTablesNextHopRelay(t *testing.T) {
+	mesh := topology.MustMesh(4, 1, 1)
+	state := fullState(mesh.Graph, 8)
+	plan := Compute(SDR{}, state, map[app.ModuleID][]topology.NodeID{}, nil)
+	a, _ := mesh.IDAt(1, 1)
+	b, _ := mesh.IDAt(2, 1)
+	d, _ := mesh.IDAt(4, 1)
+	if got := plan.Tables.NextHop(a, d); got != b {
+		t.Errorf("NextHop(a, d) = %d, want %d", got, b)
+	}
+	if got := plan.Tables.NextHop(a, a); got != a {
+		t.Errorf("NextHop(a, a) = %d, want %d", got, a)
+	}
+	if got := plan.Tables.NextHop(topology.NodeID(77), d); got != topology.Invalid {
+		t.Errorf("NextHop from unknown node = %d, want Invalid", got)
+	}
+	if got := plan.Tables.NextHop(a, topology.NodeID(77)); got != topology.Invalid {
+		t.Errorf("NextHop to unknown destination = %d, want Invalid", got)
+	}
+}
+
+func TestBuildTablesSkipsDeadSources(t *testing.T) {
+	mesh := topology.MustMesh(2, 2, 1)
+	state := fullState(mesh.Graph, 8)
+	dead, _ := mesh.IDAt(1, 1)
+	state.Status[dead] = NodeStatus{Alive: false}
+	plan := Compute(SDR{}, state, map[app.ModuleID][]topology.NodeID{}, nil)
+	if _, ok := plan.Tables[dead]; ok {
+		t.Error("dead node received a routing table")
+	}
+	if len(plan.Tables) != 3 {
+		t.Errorf("tables built for %d nodes, want 3", len(plan.Tables))
+	}
+}
+
+func TestSystemStateEqualAndClone(t *testing.T) {
+	mesh := topology.MustMesh(2, 2, 1)
+	a := fullState(mesh.Graph, 8)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Status[0] = NodeStatus{Alive: true, BatteryLevel: 3}
+	if a.Equal(b) {
+		t.Fatal("modified clone still equal")
+	}
+	if a.Status[0].BatteryLevel == 3 {
+		t.Fatal("modifying the clone changed the original")
+	}
+	if a.Equal(nil) {
+		t.Fatal("state equal to nil")
+	}
+	c := a.Clone()
+	c.Levels = 4
+	if a.Equal(c) {
+		t.Fatal("states with different level counts reported equal")
+	}
+}
+
+func TestComputePlanMetadata(t *testing.T) {
+	mesh := topology.MustMesh(2, 2, 1)
+	state := fullState(mesh.Graph, 8)
+	plan := Compute(NewEAR(), state, map[app.ModuleID][]topology.NodeID{}, nil)
+	if plan.Algorithm != "EAR" {
+		t.Errorf("plan algorithm = %q, want EAR", plan.Algorithm)
+	}
+	if plan.Paths == nil || plan.Tables == nil {
+		t.Error("plan is missing paths or tables")
+	}
+}
+
+func BenchmarkAllPairs8x8(b *testing.B) {
+	mesh := topology.MustMesh(8, 8, 1)
+	state := fullState(mesh.Graph, 8)
+	w := SDR{}.Weights(state)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairs(w)
+	}
+}
+
+func BenchmarkComputeEAR8x8(b *testing.B) {
+	mesh := topology.MustMesh(8, 8, 1)
+	state := fullState(mesh.Graph, 8)
+	dests := map[app.ModuleID][]topology.NodeID{
+		1: {0, 2, 4}, 2: {10, 20, 30}, 3: {40, 50, 60},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(NewEAR(), state, dests, nil)
+	}
+}

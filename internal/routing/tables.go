@@ -1,0 +1,152 @@
+package routing
+
+import (
+	"repro/internal/app"
+	"repro/internal/topology"
+)
+
+// Route is the phase-3 decision for one (source node, module) pair: which
+// duplicate of the module the next operation should be sent to, the first
+// hop towards it, and the (weighted) distance of the chosen path.
+type Route struct {
+	Dest     topology.NodeID
+	NextHop  topology.NodeID
+	Distance float64
+}
+
+// Valid reports whether the route points at a reachable destination.
+func (r Route) Valid() bool { return r.Dest != topology.Invalid && r.NextHop != topology.Invalid }
+
+// Table is the routing information downloaded to one node: the chosen
+// destination per module plus the successor towards every reachable node,
+// which the node uses to relay packets that are merely passing through.
+type Table struct {
+	ByModule  map[app.ModuleID]Route
+	NextHopTo map[topology.NodeID]topology.NodeID
+}
+
+// RouteTo returns the route for the given module, if any.
+func (t Table) RouteTo(id app.ModuleID) (Route, bool) {
+	r, ok := t.ByModule[id]
+	return r, ok
+}
+
+// Tables holds the routing tables of every alive node.
+type Tables map[topology.NodeID]Table
+
+// NextHop returns the next hop from node `from` towards destination `dest`,
+// or topology.Invalid if unknown.
+func (ts Tables) NextHop(from, dest topology.NodeID) topology.NodeID {
+	t, ok := ts[from]
+	if !ok {
+		return topology.Invalid
+	}
+	if from == dest {
+		return dest
+	}
+	next, ok := t.NextHopTo[dest]
+	if !ok {
+		return topology.Invalid
+	}
+	return next
+}
+
+// BuildTables runs phase 3 (Fig 6): for every alive node and every module it
+// selects the duplicate with the smallest phase-2 distance, skipping — when
+// the node currently reports a deadlock — the next hop recorded in its
+// previous routing table so the stuck job is redirected along an unlocked
+// path. destinations lists the duplicates S_i of every module; dead
+// duplicates are ignored. prev may be nil on the first invocation.
+func BuildTables(state *SystemState, sp *ShortestPaths, destinations map[app.ModuleID][]topology.NodeID, prev Tables) Tables {
+	k := state.Graph.NodeCount()
+	tables := make(Tables, k)
+	for n := 0; n < k; n++ {
+		node := topology.NodeID(n)
+		if !state.Alive(node) {
+			continue
+		}
+		table := Table{
+			ByModule:  make(map[app.ModuleID]Route, len(destinations)),
+			NextHopTo: make(map[topology.NodeID]topology.NodeID, k),
+		}
+		for d := 0; d < k; d++ {
+			dest := topology.NodeID(d)
+			if dest == node || !state.Alive(dest) {
+				continue
+			}
+			if sp.Reachable(node, dest) {
+				table.NextHopTo[dest] = sp.Succ[node][dest]
+			}
+		}
+		deadlocked := state.Status[node].Deadlocked
+		for moduleID, dups := range destinations {
+			var blockedHop = topology.Invalid
+			if deadlocked && prev != nil {
+				if prevRoute, ok := prev[node].ByModule[moduleID]; ok {
+					blockedHop = prevRoute.NextHop
+				}
+			}
+			best := Route{Dest: topology.Invalid, NextHop: topology.Invalid, Distance: Inf}
+			fallback := best
+			for _, dup := range dups {
+				if !state.Alive(dup) || !sp.Reachable(node, dup) {
+					continue
+				}
+				hop := sp.Succ[node][dup]
+				candidate := Route{Dest: dup, NextHop: hop, Distance: sp.Dist[node][dup]}
+				if better(candidate, fallback) {
+					fallback = candidate
+				}
+				if blockedHop != topology.Invalid && hop == blockedHop && dup != node {
+					continue
+				}
+				if better(candidate, best) {
+					best = candidate
+				}
+			}
+			// If every alternative went through the blocked port, fall back to
+			// the unconstrained optimum rather than leaving the module
+			// unreachable (the deadlock will be reported again next frame).
+			if !best.Valid() {
+				best = fallback
+			}
+			table.ByModule[moduleID] = best
+		}
+		tables[node] = table
+	}
+	return tables
+}
+
+// better reports whether candidate is preferable to current: strictly smaller
+// distance, with ties broken towards the smaller destination ID for
+// determinism.
+func better(candidate, current Route) bool {
+	if !candidate.Valid() {
+		return false
+	}
+	if !current.Valid() {
+		return true
+	}
+	if candidate.Distance != current.Distance {
+		return candidate.Distance < current.Distance
+	}
+	return candidate.Dest < current.Dest
+}
+
+// Plan is the complete output of one controller routing computation: the
+// phase-2 shortest paths and the phase-3 routing tables, tagged with the
+// algorithm that produced them.
+type Plan struct {
+	Algorithm string
+	Paths     *ShortestPaths
+	Tables    Tables
+}
+
+// Compute runs all three phases of the given algorithm on a system snapshot.
+// destinations lists the duplicates of every module (S_i).
+func Compute(alg Algorithm, state *SystemState, destinations map[app.ModuleID][]topology.NodeID, prev Tables) *Plan {
+	w := alg.Weights(state)
+	sp := AllPairs(w)
+	tables := BuildTables(state, sp, destinations, prev)
+	return &Plan{Algorithm: alg.Name(), Paths: sp, Tables: tables}
+}

@@ -1,0 +1,195 @@
+// Package sim is the Go re-implementation of et_sim, the cycle-accurate
+// network simulator the paper develops for e-textile platforms (Sec 7). It
+// combines all substrates — topology, application model, module mapping,
+// battery models, transmission-line energies, the TDMA control mechanism and
+// the EAR/SDR routing algorithms — and simulates encryption jobs flowing
+// through the mesh until the target system dies, reporting the number of
+// completed jobs and a full energy breakdown.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/app"
+	"repro/internal/battery"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the network topology (normally a 2D mesh).
+	Graph *topology.Graph
+	// App is the target application (normally AES-128).
+	App *app.Application
+	// Mapping assigns application modules to nodes.
+	Mapping *mapping.Mapping
+	// Algorithm is the online routing algorithm run by the controller.
+	Algorithm routing.Algorithm
+	// NodeBattery constructs the battery attached to every node.
+	NodeBattery battery.Factory
+	// Line is the textile transmission-line energy model.
+	Line *energy.TransmissionLine
+	// TDMA configures the control mechanism.
+	TDMA tdma.Params
+	// Controllers is the number of central controllers (>= 1).
+	Controllers int
+	// ControllerBattery constructs controller batteries; nil models the
+	// infinite-energy controller of Sec 7.1/7.2.
+	ControllerBattery battery.Factory
+	// ControllerPower characterises controller power draw; the zero value is
+	// replaced by the paper's measured 4x4 controller (its per-frame active
+	// time, and therefore its energy, grows with the node count).
+	ControllerPower energy.Controller
+	// BatteryLevels is the number of quantisation levels used when nodes
+	// report their remaining capacity.
+	BatteryLevels int
+	// ComputeCyclesPerOp is the latency of one act of computation.
+	ComputeCyclesPerOp int
+	// LinkWidthBits is the parallel width of the data interconnects; one hop
+	// takes ceil(PacketBits / LinkWidthBits) cycles.
+	LinkWidthBits int
+	// ConcurrentJobs is the number of jobs kept in flight simultaneously.
+	// The paper's Fig 7 / Table 2 experiments use 1 (a new job is launched
+	// only when the previous one completes).
+	ConcurrentJobs int
+	// NodeBufferJobs is the number of jobs that may reside at a node at once
+	// (being processed or waiting); additional arrivals block at their
+	// current node, which is what makes deadlock possible under concurrent
+	// load.
+	NodeBufferJobs int
+	// Source is the node at which jobs are injected (the attachment point of
+	// the sensor/actuator block in Fig 3a). Use topology.Invalid to default
+	// to node (1,1).
+	Source topology.NodeID
+	// MaxCycles stops the simulation even if the system has not died, as a
+	// safety net; 0 means no limit.
+	MaxCycles int64
+	// Key, when non-nil, makes every job carry a real AES state through the
+	// mesh: the block is encrypted by the distributed module pipeline and the
+	// resulting ciphertext is verified against the reference cipher. Only
+	// valid when App is an AES application built by app.AES.
+	Key []byte
+	// CollectNodeStats enables per-node statistics in the result.
+	CollectNodeStats bool
+}
+
+// Default returns a configuration for the paper's default scenario on the
+// given square mesh size: AES-128, checkerboard mapping, EAR routing,
+// thin-film batteries on the nodes and a single infinite-energy controller.
+func Default(meshSize int) (Config, error) {
+	mesh, err := topology.NewSquareMesh(meshSize)
+	if err != nil {
+		return Config{}, err
+	}
+	application := app.AES128()
+	m, err := mapping.Checkerboard{}.Map(mesh.Graph, application)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Graph:              mesh.Graph,
+		App:                application,
+		Mapping:            m,
+		Algorithm:          routing.NewEAR(),
+		NodeBattery:        battery.DefaultThinFilmFactory(),
+		Line:               energy.PaperTransmissionLine(),
+		TDMA:               tdma.DefaultParams(),
+		Controllers:        1,
+		ControllerBattery:  nil,
+		ControllerPower:    energy.PaperController4x4(),
+		BatteryLevels:      routing.DefaultEARParams().Levels,
+		ComputeCyclesPerOp: 4,
+		LinkWidthBits:      8,
+		ConcurrentJobs:     1,
+		NodeBufferJobs:     1,
+		Source:             mesh.Corner(),
+		MaxCycles:          0,
+	}, nil
+}
+
+// Validate checks the configuration and fills defaulted fields in place.
+func (c *Config) Validate() error {
+	if c.Graph == nil || c.Graph.NodeCount() == 0 {
+		return fmt.Errorf("sim: configuration needs a non-empty graph")
+	}
+	if c.App == nil {
+		return fmt.Errorf("sim: configuration needs an application")
+	}
+	if err := c.App.Validate(); err != nil {
+		return err
+	}
+	if c.Mapping == nil {
+		return fmt.Errorf("sim: configuration needs a module mapping")
+	}
+	if err := c.Mapping.Validate(c.App, c.Graph.NodeCount()); err != nil {
+		return err
+	}
+	if c.Algorithm == nil {
+		return fmt.Errorf("sim: configuration needs a routing algorithm")
+	}
+	if c.NodeBattery == nil {
+		return fmt.Errorf("sim: configuration needs a node battery factory")
+	}
+	if c.Line == nil {
+		return fmt.Errorf("sim: configuration needs a transmission-line model")
+	}
+	if err := c.TDMA.Validate(); err != nil {
+		return err
+	}
+	if c.Controllers < 1 {
+		return fmt.Errorf("sim: at least one controller is required, got %d", c.Controllers)
+	}
+	if c.BatteryLevels < 2 {
+		return fmt.Errorf("sim: battery reporting needs at least 2 levels, got %d", c.BatteryLevels)
+	}
+	if c.ComputeCyclesPerOp < 1 {
+		return fmt.Errorf("sim: computation latency must be at least one cycle")
+	}
+	if c.LinkWidthBits < 1 {
+		return fmt.Errorf("sim: link width must be at least one bit")
+	}
+	if c.ConcurrentJobs < 1 {
+		return fmt.Errorf("sim: at least one concurrent job is required")
+	}
+	if c.NodeBufferJobs < 1 {
+		return fmt.Errorf("sim: node buffers must hold at least one job")
+	}
+	if c.Source == topology.Invalid {
+		if id, ok := c.Graph.NodeAt(topology.Coord{X: 1, Y: 1}); ok {
+			c.Source = id
+		} else {
+			c.Source = c.Graph.Nodes()[0].ID
+		}
+	}
+	if !c.Graph.Has(c.Source) {
+		return fmt.Errorf("sim: source node %d does not exist", c.Source)
+	}
+	if (c.ControllerPower == energy.Controller{}) {
+		// The paper characterises the 4x4 controller; the routing workload
+		// (and therefore the controller's active time per frame) already
+		// grows with the node count, which is how larger meshes end up
+		// consuming more controller energy per frame (Sec 7.3).
+		c.ControllerPower = energy.PaperController4x4()
+	}
+	if c.MaxCycles < 0 {
+		return fmt.Errorf("sim: MaxCycles must be non-negative")
+	}
+	if c.Key != nil {
+		if _, err := aes.KeySizeForBytes(len(c.Key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HopCycles returns the latency of one packet hop in cycles.
+func (c *Config) HopCycles() int64 {
+	bits := c.App.PacketBits
+	width := c.LinkWidthBits
+	return int64((bits + width - 1) / width)
+}

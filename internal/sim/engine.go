@@ -1,0 +1,627 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/app"
+	"repro/internal/battery"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// stalledFrameLimit is the number of consecutive TDMA frames without any job
+// progress after which the simulator declares the system unable to make
+// progress. It is a safety net against pathological configurations; the
+// paper's scenarios never hit it.
+const stalledFrameLimit = 64
+
+// nodeState is the runtime state of one mesh node.
+type nodeState struct {
+	id       topology.NodeID
+	module   app.ModuleID
+	battery  battery.Battery
+	lastRest int64
+	dead     bool
+
+	resident  int   // jobs currently buffered at this node
+	busyUntil int64 // the node's compute resource is occupied until this cycle
+
+	ops     int
+	relayed int
+	compPJ  float64
+	commPJ  float64
+	ctrlPJ  float64
+}
+
+// jobPhase is the state of a job's miniature state machine.
+type jobPhase int
+
+const (
+	phaseRoute          jobPhase = iota // needs a destination for its next operation
+	phaseMoving                         // packet in flight on a link
+	phaseWaitingBuffer                  // next hop has no buffer space
+	phaseWaitingCompute                 // waiting for the destination node's compute resource
+	phaseWaitingRoute                   // no valid route yet (stale tables or dead duplicates)
+	phaseComputing                      // operation executing
+)
+
+// jobState is one in-flight job.
+type jobState struct {
+	id          int
+	at          topology.NodeID
+	pendingNext topology.NodeID
+	dest        topology.NodeID
+	opIdx       int
+	phase       jobPhase
+	readyAt     int64
+	hopsThisLeg int
+	blockedAt   int64 // cycle at which the job became blocked, -1 if not blocked
+
+	hasPayload bool
+	state      aes.State
+	plaintext  []byte
+}
+
+// Simulator is one instance of et_sim. Construct it with New and execute it
+// with Run; a Simulator is single-use.
+type Simulator struct {
+	cfg   Config
+	graph *topology.Graph
+
+	nodes        []*nodeState
+	jobs         []*jobState
+	destinations map[app.ModuleID][]topology.NodeID
+
+	pool         *tdma.Pool
+	tables       routing.Tables
+	lastSnapshot *routing.SystemState
+
+	pipeline *aes.Pipeline
+	cipher   *aes.Cipher
+
+	now          int64
+	nextFrame    int64
+	frameCount   int64
+	jobCounter   int
+	stalledSince int64 // frame count at the last observed progress
+	// lastCompletion is the node at which the most recent job finished; the
+	// next job enters the system there ("a new job is launched when the
+	// previous one is completed", Sec 7.1).
+	lastCompletion topology.NodeID
+
+	res  Result
+	dead bool
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:            cfg,
+		graph:          cfg.Graph,
+		destinations:   make(map[app.ModuleID][]topology.NodeID),
+		lastCompletion: topology.Invalid,
+	}
+	s.res.Algorithm = cfg.Algorithm.Name()
+	s.res.MeshNodes = cfg.Graph.NodeCount()
+
+	k := cfg.Graph.NodeCount()
+	s.nodes = make([]*nodeState, k)
+	for _, n := range cfg.Graph.Nodes() {
+		s.nodes[n.ID] = &nodeState{
+			id:      n.ID,
+			module:  cfg.Mapping.ModuleAt(n.ID),
+			battery: cfg.NodeBattery(),
+		}
+	}
+	for _, m := range cfg.App.Modules {
+		s.destinations[m.ID] = cfg.Mapping.NodesFor(m.ID)
+	}
+
+	pool, err := tdma.NewPool(cfg.Controllers, cfg.ControllerPower, cfg.ControllerBattery)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+
+	if cfg.Key != nil {
+		pipeline, err := aes.NewPipeline(cfg.Key)
+		if err != nil {
+			return nil, err
+		}
+		if pipeline.NumSteps() != cfg.App.OperationsPerJob() {
+			return nil, fmt.Errorf("sim: application flow (%d ops) does not match the AES pipeline (%d steps); payload verification requires an application built by app.AES",
+				cfg.App.OperationsPerJob(), pipeline.NumSteps())
+		}
+		cipher, err := aes.NewCipher(cfg.Key)
+		if err != nil {
+			return nil, err
+		}
+		s.pipeline = pipeline
+		s.cipher = cipher
+	}
+	return s, nil
+}
+
+// Run executes the simulation until the target system dies (or the cycle
+// budget runs out) and returns the result.
+func (s *Simulator) Run() Result {
+	// Frame 0 establishes the initial routing tables before any job moves.
+	s.processFrame()
+	s.nextFrame = s.cfg.TDMA.FramePeriodCycles
+	for len(s.jobs) < s.cfg.ConcurrentJobs {
+		s.injectJob()
+	}
+
+	for !s.dead {
+		s.settle()
+		if s.dead {
+			break
+		}
+		next := s.nextFrame
+		for _, j := range s.jobs {
+			if (j.phase == phaseMoving || j.phase == phaseComputing) && j.readyAt < next {
+				next = j.readyAt
+			}
+		}
+		if s.cfg.MaxCycles > 0 && next > s.cfg.MaxCycles {
+			s.finish(DeathMaxCycles)
+			break
+		}
+		s.now = next
+		for _, j := range append([]*jobState(nil), s.jobs...) {
+			if s.dead {
+				break
+			}
+			if (j.phase == phaseMoving || j.phase == phaseComputing) && j.readyAt <= s.now {
+				s.completeTimed(j)
+			}
+		}
+		for !s.dead && s.now >= s.nextFrame {
+			s.processFrame()
+			s.nextFrame += s.cfg.TDMA.FramePeriodCycles
+			if s.frameCount-s.stalledSince > stalledFrameLimit {
+				s.finish(DeathStalled)
+			}
+		}
+	}
+	return s.res
+}
+
+// finish records the termination reason and final statistics.
+func (s *Simulator) finish(reason DeathReason) {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.res.Reason = reason
+	s.res.LifetimeCycles = s.now
+	s.res.Frames = s.frameCount
+	for _, n := range s.nodes {
+		if n.dead {
+			s.res.DeadNodes++
+			s.res.Energy.WastedPJ += n.battery.RemainingPJ()
+		}
+	}
+	if s.cfg.CollectNodeStats {
+		s.res.Nodes = make([]NodeStats, 0, len(s.nodes))
+		for _, n := range s.nodes {
+			s.res.Nodes = append(s.res.Nodes, NodeStats{
+				Node:            n.id,
+				Module:          int(n.module),
+				Operations:      n.ops,
+				PacketsRelayed:  n.relayed,
+				ComputationPJ:   n.compPJ,
+				CommunicationPJ: n.commPJ,
+				ControlPJ:       n.ctrlPJ,
+				Dead:            n.dead,
+				DeliveredPJ:     n.battery.DeliveredPJ(),
+				RemainingPJ:     n.battery.RemainingPJ(),
+			})
+		}
+	}
+}
+
+// progress marks that some job made forward progress (used by the stall
+// detector).
+func (s *Simulator) progress() { s.stalledSince = s.frameCount }
+
+// restNode lets a node's battery recover up to the current cycle.
+func (s *Simulator) restNode(n *nodeState) {
+	if s.now > n.lastRest {
+		n.battery.Rest(s.now - n.lastRest)
+		n.lastRest = s.now
+	}
+}
+
+// drawNode draws energy from a node's battery, returning false (and handling
+// the node's death) if the battery cannot supply it.
+func (s *Simulator) drawNode(n *nodeState, amountPJ float64) bool {
+	if n.dead {
+		return false
+	}
+	s.restNode(n)
+	before := n.battery.DeliveredPJ()
+	if err := n.battery.Draw(amountPJ); err != nil {
+		// Whatever the battery delivered before browning out was consumed but
+		// produced no useful work.
+		s.res.Energy.AbortedPJ += n.battery.DeliveredPJ() - before
+		s.killNode(n)
+		return false
+	}
+	return true
+}
+
+// killNode marks a node dead, abandons any jobs it holds and checks the
+// system-death condition.
+func (s *Simulator) killNode(n *nodeState) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	for _, j := range append([]*jobState(nil), s.jobs...) {
+		if j.at == n.id || j.pendingNext == n.id {
+			s.loseJob(j)
+		}
+	}
+	if s.moduleExtinct() {
+		s.finish(DeathModuleExtinct)
+	}
+}
+
+// moduleExtinct reports whether some module has no living duplicate left —
+// the paper's "critical nodes are dead" condition.
+func (s *Simulator) moduleExtinct() bool {
+	for _, m := range s.cfg.App.Modules {
+		alive := false
+		for _, id := range s.destinations[m.ID] {
+			if !s.nodes[id].dead {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return true
+		}
+	}
+	return false
+}
+
+// injectionPoint returns the node at which new jobs enter the system. The
+// first job enters at the configured source (the sensor/actuator attachment
+// point of Fig 3a); each subsequent job enters at the node where the previous
+// job completed, matching the paper's "a new job is launched when the
+// previous one is completed". If that node has died, the job enters at the
+// living node closest to the source instead.
+func (s *Simulator) injectionPoint() topology.NodeID {
+	if s.lastCompletion != topology.Invalid && !s.nodes[s.lastCompletion].dead {
+		return s.lastCompletion
+	}
+	if !s.nodes[s.cfg.Source].dead {
+		return s.cfg.Source
+	}
+	srcPos := s.graph.Coordinate(s.cfg.Source)
+	best := topology.Invalid
+	bestDist := int(^uint(0) >> 1)
+	for _, n := range s.nodes {
+		if n.dead {
+			continue
+		}
+		d := srcPos.Manhattan(s.graph.Coordinate(n.id))
+		if d < bestDist || (d == bestDist && n.id < best) {
+			best = n.id
+			bestDist = d
+		}
+	}
+	return best
+}
+
+// injectJob launches a new job at the injection point.
+func (s *Simulator) injectJob() {
+	at := s.injectionPoint()
+	if at == topology.Invalid {
+		s.finish(DeathModuleExtinct)
+		return
+	}
+	j := &jobState{
+		id:          s.jobCounter,
+		at:          at,
+		pendingNext: topology.Invalid,
+		dest:        topology.Invalid,
+		phase:       phaseRoute,
+		blockedAt:   -1,
+	}
+	s.jobCounter++
+	if s.pipeline != nil {
+		j.hasPayload = true
+		j.plaintext = make([]byte, aes.BlockSize)
+		binary.BigEndian.PutUint64(j.plaintext[8:], uint64(j.id))
+		st, err := aes.LoadState(j.plaintext)
+		if err == nil {
+			j.state = st
+		}
+	}
+	s.nodes[j.at].resident++
+	s.jobs = append(s.jobs, j)
+}
+
+// removeJob drops a job from the active list and releases its buffer slots.
+func (s *Simulator) removeJob(j *jobState) {
+	s.nodes[j.at].resident--
+	if j.pendingNext != topology.Invalid {
+		s.nodes[j.pendingNext].resident--
+	}
+	for i, other := range s.jobs {
+		if other == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			break
+		}
+	}
+}
+
+// loseJob abandons a job (its packet was stranded on a dead node) and injects
+// a replacement so the offered load stays constant.
+func (s *Simulator) loseJob(j *jobState) {
+	s.removeJob(j)
+	s.res.JobsLost++
+	if !s.dead {
+		s.injectJob()
+	}
+}
+
+// completeJob finishes a job, verifying the distributed payload if enabled.
+func (s *Simulator) completeJob(j *jobState) {
+	s.lastCompletion = j.at
+	s.removeJob(j)
+	s.res.JobsCompleted++
+	s.progress()
+	if j.hasPayload && s.cipher != nil {
+		want, err := s.cipher.EncryptBlock(j.plaintext)
+		if err == nil {
+			got := j.state.Bytes()
+			match := true
+			for i := range want {
+				if got[i] != want[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				s.res.PayloadJobsVerified++
+			} else {
+				s.res.PayloadMismatches++
+			}
+		}
+	}
+	if !s.dead {
+		s.injectJob()
+	}
+}
+
+// settle repeatedly advances every job that can act at the current cycle
+// until no more immediate progress is possible.
+func (s *Simulator) settle() {
+	for moved := true; moved && !s.dead; {
+		moved = false
+		for _, j := range append([]*jobState(nil), s.jobs...) {
+			if s.dead {
+				return
+			}
+			switch j.phase {
+			case phaseRoute, phaseWaitingRoute:
+				if s.resolveRoute(j) {
+					moved = true
+				}
+			case phaseWaitingBuffer:
+				if s.startHop(j) {
+					moved = true
+				}
+			case phaseWaitingCompute:
+				if s.startCompute(j) {
+					moved = true
+				}
+			}
+		}
+	}
+}
+
+// resolveRoute determines the destination for the job's next operation and
+// begins moving or computing. It returns true if the job changed state.
+func (s *Simulator) resolveRoute(j *jobState) bool {
+	module := s.cfg.App.Flow[j.opIdx]
+	table, ok := s.tables[j.at]
+	if !ok {
+		return s.block(j, phaseWaitingRoute)
+	}
+	route, ok := table.RouteTo(module)
+	if !ok || !route.Valid() || s.nodes[route.Dest].dead {
+		// The tables may be stale; if no living duplicate is physically
+		// reachable any more the system is partitioned and dies.
+		if s.moduleExtinct() {
+			s.finish(DeathModuleExtinct)
+			return false
+		}
+		if !s.reachableDuplicate(j.at, module) {
+			s.finish(DeathUnreachable)
+			return false
+		}
+		return s.block(j, phaseWaitingRoute)
+	}
+	j.dest = route.Dest
+	j.hopsThisLeg = 0
+	if j.dest == j.at {
+		j.phase = phaseWaitingCompute
+		j.blockedAt = -1
+		return s.startCompute(j)
+	}
+	j.phase = phaseWaitingBuffer
+	j.blockedAt = -1
+	return s.startHop(j)
+}
+
+// reachableDuplicate reports whether any living duplicate of the module is
+// reachable from the given node across living nodes only.
+func (s *Simulator) reachableDuplicate(from topology.NodeID, module app.ModuleID) bool {
+	if s.nodes[from].dead {
+		return false
+	}
+	targets := make(map[topology.NodeID]bool)
+	for _, id := range s.destinations[module] {
+		if !s.nodes[id].dead {
+			targets[id] = true
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	if targets[from] {
+		return true
+	}
+	seen := map[topology.NodeID]bool{from: true}
+	queue := []topology.NodeID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range s.graph.Neighbors(cur) {
+			if seen[nb] || s.nodes[nb].dead {
+				continue
+			}
+			if targets[nb] {
+				return true
+			}
+			seen[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return false
+}
+
+// block parks a job in a waiting phase, recording when it became blocked for
+// deadlock detection. It always returns false (no forward progress).
+func (s *Simulator) block(j *jobState, phase jobPhase) bool {
+	if j.blockedAt < 0 {
+		j.blockedAt = s.now
+	}
+	j.phase = phase
+	return false
+}
+
+// startHop attempts to transmit the job's packet towards its destination. It
+// returns true if the hop started.
+func (s *Simulator) startHop(j *jobState) bool {
+	cur := s.nodes[j.at]
+	if cur.dead {
+		s.loseJob(j)
+		return false
+	}
+	next := j.dest
+	if next != j.at {
+		if hop := s.tables.NextHop(j.at, j.dest); hop != topology.Invalid {
+			next = hop
+		} else if route, ok := s.tables[j.at].RouteTo(s.cfg.App.Flow[j.opIdx]); ok && route.Valid() && route.Dest == j.dest {
+			next = route.NextHop
+		} else {
+			return s.block(j, phaseWaitingRoute)
+		}
+	}
+	nextNode := s.nodes[next]
+	if nextNode.dead {
+		return s.block(j, phaseWaitingRoute)
+	}
+	if nextNode.resident >= s.cfg.NodeBufferJobs {
+		return s.block(j, phaseWaitingBuffer)
+	}
+	link, ok := s.graph.Link(j.at, next)
+	if !ok {
+		// Routing produced a next hop that is not a physical neighbour; this
+		// indicates a corrupted table and is treated as a partition.
+		s.finish(DeathUnreachable)
+		return false
+	}
+	cost := s.cfg.Line.PacketEnergyPJ(link.LengthCM, s.cfg.App.PacketBits)
+	if !s.drawNode(cur, cost) {
+		return false // node died mid-transmission; killNode already handled the job
+	}
+	cur.commPJ += cost
+	s.res.Energy.CommunicationPJ += cost
+	if j.hopsThisLeg > 0 {
+		cur.relayed++
+	}
+	j.hopsThisLeg++
+	nextNode.resident++
+	j.pendingNext = next
+	j.phase = phaseMoving
+	j.readyAt = s.now + s.cfg.HopCycles()
+	j.blockedAt = -1
+	return true
+}
+
+// startCompute attempts to begin the job's next operation at its destination
+// node. It returns true if computation started.
+func (s *Simulator) startCompute(j *jobState) bool {
+	n := s.nodes[j.at]
+	if n.dead {
+		s.loseJob(j)
+		return false
+	}
+	if n.busyUntil > s.now {
+		return s.block(j, phaseWaitingCompute)
+	}
+	module, err := s.cfg.App.Module(s.cfg.App.Flow[j.opIdx])
+	if err != nil {
+		s.finish(DeathUnreachable)
+		return false
+	}
+	if !s.drawNode(n, module.EnergyPerOpPJ) {
+		return false
+	}
+	n.compPJ += module.EnergyPerOpPJ
+	n.ops++
+	s.res.Energy.ComputationPJ += module.EnergyPerOpPJ
+	j.phase = phaseComputing
+	j.readyAt = s.now + int64(s.cfg.ComputeCyclesPerOp)
+	n.busyUntil = j.readyAt
+	j.blockedAt = -1
+	return true
+}
+
+// completeTimed finishes a hop or an operation whose latency elapsed.
+func (s *Simulator) completeTimed(j *jobState) {
+	switch j.phase {
+	case phaseMoving:
+		s.nodes[j.at].resident--
+		j.at = j.pendingNext
+		j.pendingNext = topology.Invalid
+		s.progress()
+		if s.nodes[j.at].dead {
+			s.loseJob(j)
+			return
+		}
+		if j.at == j.dest {
+			j.phase = phaseWaitingCompute
+			s.startCompute(j)
+		} else {
+			j.phase = phaseWaitingBuffer
+			s.startHop(j)
+		}
+	case phaseComputing:
+		if j.hasPayload && s.pipeline != nil {
+			if st, err := s.pipeline.Apply(j.state, j.opIdx); err == nil {
+				j.state = st
+			}
+		}
+		j.opIdx++
+		s.progress()
+		if j.opIdx >= len(s.cfg.App.Flow) {
+			s.completeJob(j)
+			return
+		}
+		j.phase = phaseRoute
+		s.resolveRoute(j)
+	}
+}

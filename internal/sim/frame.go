@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/battery"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// processFrame executes one TDMA control frame at the current cycle: nodes
+// upload their status, the active controller re-runs the routing algorithm if
+// the reported information changed, and new routing tables are downloaded.
+func (s *Simulator) processFrame() {
+	if s.dead {
+		return
+	}
+	s.frameCount++
+	s.res.Frames = s.frameCount
+
+	uploadPJ := s.cfg.TDMA.UploadEnergyPerNodePJ()
+	for _, n := range s.nodes {
+		if n.dead {
+			continue
+		}
+		s.restNode(n)
+		if uploadPJ > 0 {
+			if !s.drawNode(n, uploadPJ) {
+				continue
+			}
+			n.ctrlPJ += uploadPJ
+			s.res.Energy.ControlUploadPJ += uploadPJ
+		}
+	}
+	if s.dead {
+		return
+	}
+
+	snapshot := s.buildSnapshot()
+	newDeadlocks := 0
+	for id, st := range snapshot.Status {
+		if st.Deadlocked && (s.lastSnapshot == nil || !s.lastSnapshot.Status[id].Deadlocked) {
+			newDeadlocks++
+		}
+	}
+	s.res.DeadlockReports += newDeadlocks
+
+	changed := s.stateChanged(snapshot)
+
+	// Controller energy: bookkeeping every frame, plus the routing
+	// computation and the table download when the state changed.
+	k := s.graph.NodeCount()
+	activePJ := s.cfg.TDMA.ControllerFrameEnergyPJ(s.cfg.ControllerPower, k, changed)
+	downloadPJ := 0.0
+	if changed {
+		aliveCount := 0
+		for _, n := range s.nodes {
+			if !n.dead {
+				aliveCount++
+			}
+		}
+		downloadPJ = s.cfg.TDMA.DownloadEnergyPerNodePJ() * float64(aliveCount)
+	}
+	s.res.Energy.ControllerPJ += activePJ
+	s.res.Energy.ControlDownloadPJ += downloadPJ
+	if err := s.pool.ServeFrame(activePJ+downloadPJ, 0); err != nil {
+		if errors.Is(err, tdma.ErrAllControllersDead) && s.cfg.ControllerBattery != nil {
+			s.finish(DeathControllersDead)
+			return
+		}
+	}
+	s.pool.RestAll(s.cfg.TDMA.FramePeriodCycles)
+
+	if changed || s.tables == nil {
+		prev := s.tables
+		plan := routing.Compute(s.cfg.Algorithm, snapshot, s.destinations, prev)
+		s.tables = plan.Tables
+		s.lastSnapshot = snapshot
+		s.res.RoutingRecomputes++
+		// Give blocked jobs a chance to re-resolve against the new tables.
+		for _, j := range s.jobs {
+			switch j.phase {
+			case phaseWaitingRoute, phaseWaitingBuffer:
+				j.phase = phaseRoute
+			}
+		}
+	}
+	if s.moduleExtinct() {
+		s.finish(DeathModuleExtinct)
+	}
+}
+
+// buildSnapshot collects the per-node status reported during this frame's
+// upload phase.
+func (s *Simulator) buildSnapshot() *routing.SystemState {
+	snapshot := &routing.SystemState{
+		Graph:  s.graph,
+		Levels: s.cfg.BatteryLevels,
+		Status: make(map[topology.NodeID]routing.NodeStatus, len(s.nodes)),
+	}
+	threshold := int64(s.cfg.TDMA.DeadlockThresholdFrames) * s.cfg.TDMA.FramePeriodCycles
+	blocked := make(map[topology.NodeID]bool)
+	for _, j := range s.jobs {
+		if j.blockedAt >= 0 && s.now-j.blockedAt >= threshold {
+			blocked[j.at] = true
+		}
+	}
+	for _, n := range s.nodes {
+		if n.dead {
+			snapshot.Status[n.id] = routing.NodeStatus{Alive: false}
+			continue
+		}
+		s.restNode(n)
+		snapshot.Status[n.id] = routing.NodeStatus{
+			Alive:        true,
+			BatteryLevel: battery.Level(n.battery, s.cfg.BatteryLevels),
+			Deadlocked:   blocked[n.id],
+		}
+	}
+	return snapshot
+}
+
+// stateChanged reports whether the newly reported snapshot differs from the
+// previous one in any way the routing algorithm cares about.
+func (s *Simulator) stateChanged(snapshot *routing.SystemState) bool {
+	if s.lastSnapshot == nil {
+		return true
+	}
+	needLevels := s.cfg.Algorithm.NeedsBatteryInfo()
+	for id, st := range snapshot.Status {
+		prev := s.lastSnapshot.Status[id]
+		if st.Alive != prev.Alive || st.Deadlocked != prev.Deadlocked {
+			return true
+		}
+		if needLevels && st.BatteryLevel != prev.BatteryLevel {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+// Package stats provides small table/series containers and text renderers
+// (aligned tables, CSV, Markdown) used by the experiment harness and the
+// command-line tools to print paper-style tables and figure data.
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented results table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Values are converted with Format.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = Format(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Format renders a single cell value: floats get a compact fixed-point
+// representation, everything else uses the default formatting.
+func Format(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'f', 2, 64)
+}
+
+// Render returns the table as an aligned plain-text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// CSV returns the table as comma-separated values (RFC-4180 style quoting for
+// cells containing commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// Markdown returns the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("### ")
+		b.WriteString(t.Title)
+		b.WriteString("\n\n")
+	}
+	b.WriteString("| ")
+	b.WriteString(strings.Join(t.Columns, " | "))
+	b.WriteString(" |\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, the unit of data behind each
+// curve in the paper's figures.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Ys returns the series' y values in order.
+func (s *Series) Ys() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// MinY and MaxY return the extreme y values (0 for an empty series).
+func (s *Series) MinY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < min {
+			min = p.Y
+		}
+	}
+	return min
+}
+
+// MaxY returns the largest y value (0 for an empty series).
+func (s *Series) MaxY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	max := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// Chart is a collection of series sharing an x axis, with a simple ASCII
+// renderer used by the examples and cmd/etbench to visualise figures in the
+// terminal.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewChart creates an empty chart.
+func NewChart(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddSeries appends a new named series and returns it for population.
+func (c *Chart) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	c.Series = append(c.Series, s)
+	return s
+}
+
+// Render draws a crude horizontal-bar representation of the chart: one block
+// of bars per x value, one bar per series, scaled to the chart's maximum.
+func (c *Chart) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	max := 0.0
+	for _, s := range c.Series {
+		if m := s.MaxY(); m > max {
+			max = m
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	nameWidth := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%s = %s\n", c.XLabel, Format(x))
+		for _, s := range c.Series {
+			y, ok := s.lookup(x)
+			if !ok {
+				continue
+			}
+			bars := int(y / max * float64(width))
+			if bars < 0 {
+				bars = 0
+			}
+			fmt.Fprintf(&b, "  %s  %s %s\n", pad(s.Name, nameWidth), strings.Repeat("#", bars), Format(y))
+		}
+	}
+	fmt.Fprintf(&b, "(%s; bar length proportional to %s, full scale = %s)\n", c.XLabel, c.YLabel, Format(max))
+	return b.String()
+}
+
+func (s *Series) lookup(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

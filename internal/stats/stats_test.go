@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{42, "42"},
+		{3.0, "3"},
+		{3.14159, "3.14"},
+		{float32(2.5), "2.50"},
+		{"hello", "hello"},
+		{true, "true"},
+	}
+	for _, tc := range cases {
+		if got := Format(tc.in); got != tc.want {
+			t.Errorf("Format(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Table 2", "mesh", "J(EAR)", "J*", "ratio")
+	tbl.AddRow("4x4", 62.8, 131.42, "47.8%")
+	tbl.AddRow("8x8", 234.0, 525.69, "44.5%")
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Table 2", "mesh", "J(EAR)", "62.80", "525.69", "44.5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns must be aligned: every data line at least as long as the header line.
+	header := lines[1]
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > len(header)+20 {
+			t.Errorf("line much longer than header, alignment broken: %q", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("plain", 1)
+	tbl.AddRow("has,comma", "has\"quote")
+	csv := tbl.CSV()
+	wantLines := []string{
+		"a,b",
+		"plain,1",
+		`"has,comma","has""quote"`,
+	}
+	got := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(got), len(wantLines), csv)
+	}
+	for i := range wantLines {
+		if got[i] != wantLines[i] {
+			t.Errorf("CSV line %d = %q, want %q", i, got[i], wantLines[i])
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Fig 7", "mesh", "jobs")
+	tbl.AddRow("4x4", 60)
+	md := tbl.Markdown()
+	for _, want := range []string{"### Fig 7", "| mesh | jobs |", "|---|---|", "| 4x4 | 60 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "EAR"}
+	if s.MinY() != 0 || s.MaxY() != 0 {
+		t.Error("empty series extremes should be 0")
+	}
+	s.Add(4, 60)
+	s.Add(5, 92)
+	s.Add(8, 234)
+	if s.MaxY() != 234 || s.MinY() != 60 {
+		t.Errorf("MinY/MaxY = %g/%g, want 60/234", s.MinY(), s.MaxY())
+	}
+	ys := s.Ys()
+	if len(ys) != 3 || ys[0] != 60 || ys[2] != 234 {
+		t.Errorf("Ys = %v", ys)
+	}
+	if y, ok := s.lookup(5); !ok || y != 92 {
+		t.Errorf("lookup(5) = %g, %v", y, ok)
+	}
+	if _, ok := s.lookup(7); ok {
+		t.Error("lookup of missing x succeeded")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("Fig 7: jobs completed", "mesh", "# of jobs")
+	ear := c.AddSeries("EAR")
+	sdr := c.AddSeries("SDR")
+	ear.Add(4, 60)
+	ear.Add(8, 150)
+	sdr.Add(4, 8)
+	sdr.Add(8, 15)
+	out := c.Render(40)
+	for _, want := range []string{"Fig 7", "mesh = 4", "mesh = 8", "EAR", "SDR", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+	// The EAR bar at mesh=8 must be the longest (full scale).
+	lines := strings.Split(out, "\n")
+	maxHashes, maxLine := 0, ""
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes = n
+			maxLine = l
+		}
+	}
+	if !strings.Contains(maxLine, "EAR") || !strings.Contains(maxLine, "150") {
+		t.Errorf("longest bar is %q, want the EAR/150 bar", maxLine)
+	}
+	// Tiny widths are clamped rather than panicking.
+	if out := c.Render(1); out == "" {
+		t.Error("Render with tiny width returned nothing")
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	if out := c.Render(20); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart render = %q", out)
+	}
+}

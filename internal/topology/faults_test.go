@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRemoveLink(t *testing.T) {
+	m := MustMesh(3, 3, 1)
+	a, _ := m.IDAt(1, 1)
+	b, _ := m.IDAt(2, 1)
+	before := m.LinkCount()
+	if err := m.RemoveLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Link(a, b); ok {
+		t.Fatal("link still present after removal")
+	}
+	if _, ok := m.Link(b, a); !ok {
+		t.Fatal("reverse link should still exist after a one-way removal")
+	}
+	if m.LinkCount() != before-1 {
+		t.Fatalf("LinkCount = %d, want %d", m.LinkCount(), before-1)
+	}
+	if err := m.RemoveLink(a, b); !errors.Is(err, ErrLinkNotFound) {
+		t.Fatalf("second removal error = %v, want ErrLinkNotFound", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("graph invalid after removal: %v", err)
+	}
+	// Neighbour lists must no longer mention the removed link.
+	for _, nb := range m.Neighbors(a) {
+		if nb == b {
+			t.Fatal("removed link still listed in Neighbors")
+		}
+	}
+}
+
+func TestRemoveBiLink(t *testing.T) {
+	m := MustMesh(2, 2, 1)
+	a, _ := m.IDAt(1, 1)
+	b, _ := m.IDAt(2, 1)
+	if err := m.RemoveBiLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Link(a, b); ok {
+		t.Error("forward link survived RemoveBiLink")
+	}
+	if _, ok := m.Link(b, a); ok {
+		t.Error("reverse link survived RemoveBiLink")
+	}
+	if err := m.RemoveBiLink(a, b); err == nil {
+		t.Error("removing a missing bidirectional link should fail")
+	}
+	// The 2x2 mesh without one edge is still connected via the other path.
+	if !m.Connected() {
+		t.Error("2x2 mesh should survive a single bidirectional link failure")
+	}
+}
+
+func TestFailLinksPreservesConnectivity(t *testing.T) {
+	for _, fraction := range []float64{0.1, 0.25, 0.4} {
+		m := MustMesh(6, 6, 1)
+		before := m.LinkCount()
+		removed, err := FailLinks(m.Graph, fraction, 7)
+		if err != nil {
+			t.Fatalf("fraction %g: %v", fraction, err)
+		}
+		if len(removed) == 0 {
+			t.Errorf("fraction %g removed no links", fraction)
+		}
+		if m.LinkCount() != before-2*len(removed) {
+			t.Errorf("fraction %g: link count %d, want %d", fraction, m.LinkCount(), before-2*len(removed))
+		}
+		if !m.Connected() {
+			t.Errorf("fraction %g: fault injection disconnected the mesh", fraction)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("fraction %g: %v", fraction, err)
+		}
+	}
+}
+
+func TestFailLinksDeterministicPerSeed(t *testing.T) {
+	m1 := MustMesh(5, 5, 1)
+	m2 := MustMesh(5, 5, 1)
+	r1, err := FailLinks(m1.Graph, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FailLinks(m2.Graph, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("same seed removed %d vs %d links", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("same seed removed different links at index %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	m3 := MustMesh(5, 5, 1)
+	r3, err := FailLinks(m3.Graph, 0.2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(r1) == len(r3)
+	if same {
+		for i := range r1 {
+			if r1[i] != r3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault patterns (suspicious)")
+	}
+}
+
+func TestFailLinksValidation(t *testing.T) {
+	m := MustMesh(3, 3, 1)
+	if _, err := FailLinks(m.Graph, -0.1, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := FailLinks(m.Graph, 1.0, 1); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	removed, err := FailLinks(m.Graph, 0, 1)
+	if err != nil || removed != nil {
+		t.Errorf("zero fraction: removed %v, err %v", removed, err)
+	}
+}
+
+func TestFailLinksConnectivityProperty(t *testing.T) {
+	prop := func(seed uint16, fracRaw uint8) bool {
+		m := MustMesh(5, 4, 1)
+		fraction := float64(fracRaw%50) / 100.0
+		if _, err := FailLinks(m.Graph, fraction, uint64(seed)); err != nil {
+			return false
+		}
+		return m.Connected() && m.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusConstruction(t *testing.T) {
+	torus, err := NewTorus(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4x4 torus is 4-regular: every node has exactly four neighbours.
+	for _, n := range torus.Nodes() {
+		if d := torus.Degree(n.ID); d != 4 {
+			t.Errorf("node %v degree = %d, want 4", n.Pos, d)
+		}
+	}
+	if !torus.Connected() {
+		t.Error("torus not connected")
+	}
+	if err := torus.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Wrap-around links span the whole row: length 3 cm on a 4-wide torus.
+	a, _ := torus.IDAt(1, 1)
+	b, _ := torus.IDAt(4, 1)
+	l, ok := torus.Link(a, b)
+	if !ok || l.LengthCM != 3 {
+		t.Errorf("wrap-around link = %+v, want length 3", l)
+	}
+	if torus.String() != "4x4 torus (1 cm spacing)" {
+		t.Errorf("String = %q", torus.String())
+	}
+}
+
+func TestTorusSmallDimensionsSkipWrapAround(t *testing.T) {
+	// With width or height <= 2 a wrap-around link would duplicate an
+	// existing neighbour link; the constructor must skip it.
+	torus, err := NewTorus(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := torus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := torus.IDAt(1, 1)
+	if d := torus.Degree(a); d != 3 {
+		t.Errorf("corner degree on a 2x3 torus = %d, want 3 (right, down, wrap-down)", d)
+	}
+	if _, err := NewTorus(0, 3, 1); err == nil {
+		t.Error("invalid torus dimensions accepted")
+	}
+}
+
+func TestTorusShortensWorstCaseDistance(t *testing.T) {
+	mesh := MustMesh(6, 6, 1)
+	torus, err := NewTorus(6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop-count diameter of the open mesh is 10; the torus halves it.
+	meshCorner1, _ := mesh.IDAt(1, 1)
+	meshCorner2, _ := mesh.IDAt(6, 6)
+	torusCorner1, _ := torus.IDAt(1, 1)
+	torusCorner2, _ := torus.IDAt(6, 6)
+	meshHops := bfsHops(mesh.Graph, meshCorner1, meshCorner2)
+	torusHops := bfsHops(torus.Graph, torusCorner1, torusCorner2)
+	if torusHops >= meshHops {
+		t.Errorf("torus corner distance %d not shorter than mesh %d", torusHops, meshHops)
+	}
+}
+
+// bfsHops returns the hop count of the shortest path between two nodes.
+func bfsHops(g *Graph, from, to NodeID) int {
+	dist := map[NodeID]int{from: 0}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			return dist[cur]
+		}
+		for _, nb := range g.Neighbors(cur) {
+			if _, seen := dist[nb]; !seen {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,106 @@
+package topology
+
+import "fmt"
+
+// Mesh is a 2D mesh network, the default architecture supported by et_sim.
+// Coordinates follow the paper's Fig 3(b): 1-based, (1,1) in the top-left,
+// X increasing to the right and Y increasing downwards. Every pair of
+// orthogonally adjacent nodes is connected by a pair of directed links of
+// equal physical length.
+type Mesh struct {
+	*Graph
+	width     int
+	height    int
+	spacingCM float64
+}
+
+// DefaultSpacingCM is the default physical distance between adjacent mesh
+// nodes. The paper does not state the spacing explicitly; 1 cm is the
+// calibration that reproduces the Table 2 upper-bound column together with
+// the 261-bit packet (see DESIGN.md, "Substitutions").
+const DefaultSpacingCM = 1.0
+
+// NewMesh builds a width x height mesh with the given inter-node spacing in
+// centimetres. Width and height must be at least 1 and spacing positive.
+func NewMesh(width, height int, spacingCM float64) (*Mesh, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("topology: invalid mesh dimensions %dx%d", width, height)
+	}
+	if spacingCM <= 0 {
+		return nil, fmt.Errorf("%w: %g cm", ErrBadLength, spacingCM)
+	}
+	m := &Mesh{Graph: New(), width: width, height: height, spacingCM: spacingCM}
+	for y := 1; y <= height; y++ {
+		for x := 1; x <= width; x++ {
+			if _, err := m.AddNode(Coord{X: x, Y: y}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for y := 1; y <= height; y++ {
+		for x := 1; x <= width; x++ {
+			id, _ := m.NodeAt(Coord{X: x, Y: y})
+			if x < width {
+				right, _ := m.NodeAt(Coord{X: x + 1, Y: y})
+				if err := m.AddBiLink(id, right, spacingCM); err != nil {
+					return nil, err
+				}
+			}
+			if y < height {
+				down, _ := m.NodeAt(Coord{X: x, Y: y + 1})
+				if err := m.AddBiLink(id, down, spacingCM); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// MustMesh is NewMesh for construction code with statically valid arguments.
+func MustMesh(width, height int, spacingCM float64) *Mesh {
+	m, err := NewMesh(width, height, spacingCM)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewSquareMesh builds an n x n mesh with the default spacing, matching the
+// "4x4 .. 8x8 mesh network" configurations evaluated in the paper.
+func NewSquareMesh(n int) (*Mesh, error) { return NewMesh(n, n, DefaultSpacingCM) }
+
+// Width returns the number of columns in the mesh.
+func (m *Mesh) Width() int { return m.width }
+
+// Height returns the number of rows in the mesh.
+func (m *Mesh) Height() int { return m.height }
+
+// SpacingCM returns the physical distance between adjacent nodes.
+func (m *Mesh) SpacingCM() float64 { return m.spacingCM }
+
+// Size returns the total number of nodes (the node budget K for this mesh).
+func (m *Mesh) Size() int { return m.width * m.height }
+
+// IDAt returns the node ID at mesh coordinate (x, y), both 1-based.
+func (m *Mesh) IDAt(x, y int) (NodeID, bool) { return m.NodeAt(Coord{X: x, Y: y}) }
+
+// Center returns the node closest to the geometric centre of the mesh. It is
+// used as the default job source/sink when no explicit attachment point is
+// configured.
+func (m *Mesh) Center() NodeID {
+	id, _ := m.NodeAt(Coord{X: (m.width + 1) / 2, Y: (m.height + 1) / 2})
+	return id
+}
+
+// Corner returns the node at coordinate (1,1), the conventional attachment
+// point of the sensor/actuator block in the smart-shirt sketch (Fig 3a).
+func (m *Mesh) Corner() NodeID {
+	id, _ := m.NodeAt(Coord{X: 1, Y: 1})
+	return id
+}
+
+// String describes the mesh briefly, e.g. "4x4 mesh (1 cm spacing)".
+func (m *Mesh) String() string {
+	return fmt.Sprintf("%dx%d mesh (%g cm spacing)", m.width, m.height, m.spacingCM)
+}

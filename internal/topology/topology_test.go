@@ -1,0 +1,356 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		id, err := g.AddNode(Coord{X: i, Y: 0})
+		if err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+		if id != NodeID(i) {
+			t.Fatalf("AddNode returned ID %d, want %d", id, i)
+		}
+	}
+	if g.NodeCount() != 5 {
+		t.Fatalf("NodeCount = %d, want 5", g.NodeCount())
+	}
+}
+
+func TestAddNodeRejectsDuplicateCoordinate(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode(Coord{X: 1, Y: 1}); err != nil {
+		t.Fatalf("first AddNode: %v", err)
+	}
+	if _, err := g.AddNode(Coord{X: 1, Y: 1}); !errors.Is(err, ErrDuplicateCoord) {
+		t.Fatalf("duplicate AddNode error = %v, want ErrDuplicateCoord", err)
+	}
+}
+
+func TestMustAddNodePanicsOnDuplicate(t *testing.T) {
+	g := New()
+	g.MustAddNode(Coord{X: 0, Y: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddNode did not panic on duplicate coordinate")
+		}
+	}()
+	g.MustAddNode(Coord{X: 0, Y: 0})
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(Coord{X: 0, Y: 0})
+	b := g.MustAddNode(Coord{X: 1, Y: 0})
+
+	tests := []struct {
+		name    string
+		from    NodeID
+		to      NodeID
+		length  float64
+		wantErr error
+	}{
+		{"unknown source", 99, b, 1, ErrUnknownNode},
+		{"unknown destination", a, 99, 1, ErrUnknownNode},
+		{"self link", a, a, 1, ErrSelfLink},
+		{"zero length", a, b, 0, ErrBadLength},
+		{"negative length", a, b, -2, ErrBadLength},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddLink(tc.from, tc.to, tc.length); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("AddLink error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+
+	if err := g.AddLink(a, b, 1); err != nil {
+		t.Fatalf("valid AddLink: %v", err)
+	}
+	if err := g.AddLink(a, b, 1); !errors.Is(err, ErrDuplicateLink) {
+		t.Fatalf("duplicate AddLink error = %v, want ErrDuplicateLink", err)
+	}
+}
+
+func TestAddBiLinkCreatesBothDirections(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(Coord{X: 0, Y: 0})
+	b := g.MustAddNode(Coord{X: 1, Y: 0})
+	if err := g.AddBiLink(a, b, 2.5); err != nil {
+		t.Fatalf("AddBiLink: %v", err)
+	}
+	if _, ok := g.Link(a, b); !ok {
+		t.Error("link a->b missing")
+	}
+	if _, ok := g.Link(b, a); !ok {
+		t.Error("link b->a missing")
+	}
+	if g.LinkCount() != 2 {
+		t.Errorf("LinkCount = %d, want 2", g.LinkCount())
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(Coord{X: 0, Y: 0})
+	b := g.MustAddNode(Coord{X: 1, Y: 0})
+	c := g.MustAddNode(Coord{X: 2, Y: 0})
+	if err := g.AddLink(a, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Neighbors(a)
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("Neighbors(a) = %v, want [%d %d] sorted", got, b, c)
+	}
+	if g.Degree(a) != 2 || g.Degree(b) != 0 {
+		t.Fatalf("Degree(a)=%d Degree(b)=%d, want 2 and 0", g.Degree(a), g.Degree(b))
+	}
+}
+
+func TestNodeLookupErrors(t *testing.T) {
+	g := New()
+	if _, err := g.Node(0); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Node(0) on empty graph error = %v, want ErrUnknownNode", err)
+	}
+	if g.Has(-1) || g.Has(0) {
+		t.Fatal("Has reported membership for nodes that do not exist")
+	}
+}
+
+func TestCoordinatePanicsOnUnknownNode(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coordinate did not panic for unknown node")
+		}
+	}()
+	g.Coordinate(3)
+}
+
+func TestConnectedFromRespectsKeepSet(t *testing.T) {
+	// a <-> b <-> c, where removing b disconnects a from c.
+	g := New()
+	a := g.MustAddNode(Coord{X: 0, Y: 0})
+	b := g.MustAddNode(Coord{X: 1, Y: 0})
+	c := g.MustAddNode(Coord{X: 2, Y: 0})
+	if err := g.AddBiLink(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBiLink(b, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("line graph should be connected")
+	}
+	keep := map[NodeID]bool{a: true, c: true}
+	if g.ConnectedFrom(a, keep) {
+		t.Fatal("a and c should be disconnected once b is excluded")
+	}
+	keep[b] = true
+	if !g.ConnectedFrom(a, keep) {
+		t.Fatal("a, b, c should be connected when all are kept")
+	}
+	if g.ConnectedFrom(a, map[NodeID]bool{b: true, c: true}) {
+		t.Fatal("source excluded from keep set must not be reported connected")
+	}
+}
+
+func TestMeshConstruction4x4(t *testing.T) {
+	m, err := NewMesh(4, 4, 1)
+	if err != nil {
+		t.Fatalf("NewMesh: %v", err)
+	}
+	if m.Size() != 16 || m.NodeCount() != 16 {
+		t.Fatalf("mesh size = %d nodes, want 16", m.NodeCount())
+	}
+	// 2*w*h - w - h undirected edges, times two for directed links.
+	wantLinks := 2 * (2*4*4 - 4 - 4)
+	if m.LinkCount() != wantLinks {
+		t.Fatalf("LinkCount = %d, want %d", m.LinkCount(), wantLinks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !m.Connected() {
+		t.Fatal("mesh must be connected")
+	}
+	// Corner nodes have degree 2, edges 3, interior 4.
+	corner, _ := m.IDAt(1, 1)
+	edge, _ := m.IDAt(2, 1)
+	inner, _ := m.IDAt(2, 2)
+	if d := m.Degree(corner); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if d := m.Degree(edge); d != 3 {
+		t.Errorf("edge degree = %d, want 3", d)
+	}
+	if d := m.Degree(inner); d != 4 {
+		t.Errorf("inner degree = %d, want 4", d)
+	}
+}
+
+func TestMeshRejectsInvalidArguments(t *testing.T) {
+	if _, err := NewMesh(0, 4, 1); err == nil {
+		t.Error("NewMesh(0,4) should fail")
+	}
+	if _, err := NewMesh(4, -1, 1); err == nil {
+		t.Error("NewMesh(4,-1) should fail")
+	}
+	if _, err := NewMesh(4, 4, 0); err == nil {
+		t.Error("NewMesh with zero spacing should fail")
+	}
+}
+
+func TestMeshAccessors(t *testing.T) {
+	m := MustMesh(5, 3, 2.0)
+	if m.Width() != 5 || m.Height() != 3 {
+		t.Fatalf("dimensions = %dx%d, want 5x3", m.Width(), m.Height())
+	}
+	if m.SpacingCM() != 2.0 {
+		t.Fatalf("SpacingCM = %g, want 2", m.SpacingCM())
+	}
+	if got := m.String(); got != "5x3 mesh (2 cm spacing)" {
+		t.Fatalf("String = %q", got)
+	}
+	center := m.Center()
+	if m.Coordinate(center) != (Coord{X: 3, Y: 2}) {
+		t.Fatalf("Center at %v, want (3,2)", m.Coordinate(center))
+	}
+	corner := m.Corner()
+	if m.Coordinate(corner) != (Coord{X: 1, Y: 1}) {
+		t.Fatalf("Corner at %v, want (1,1)", m.Coordinate(corner))
+	}
+}
+
+func TestSquareMeshMatchesPaperSizes(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		m, err := NewSquareMesh(n)
+		if err != nil {
+			t.Fatalf("NewSquareMesh(%d): %v", n, err)
+		}
+		if m.Size() != n*n {
+			t.Errorf("NewSquareMesh(%d).Size() = %d, want %d", n, m.Size(), n*n)
+		}
+		if m.SpacingCM() != DefaultSpacingCM {
+			t.Errorf("NewSquareMesh(%d) spacing = %g, want default", n, m.SpacingCM())
+		}
+	}
+}
+
+func TestMeshLinkLengthsEqualSpacing(t *testing.T) {
+	m := MustMesh(3, 3, 7.5)
+	for _, l := range m.Links() {
+		if l.LengthCM != 7.5 {
+			t.Fatalf("link %d->%d length %g, want 7.5", l.From, l.To, l.LengthCM)
+		}
+	}
+}
+
+func TestManhattanDistanceProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int8) bool {
+		a := Coord{X: int(ax), Y: int(ay)}
+		b := Coord{X: int(bx), Y: int(by)}
+		return a.Manhattan(b) == b.Manhattan(a) && a.Manhattan(a) == 0 && a.Manhattan(b) >= 0
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Fatal(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Coord{X: int(ax), Y: int(ay)}
+		b := Coord{X: int(bx), Y: int(by)}
+		c := Coord{X: int(cx), Y: int(cy)}
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshNeighborsAreManhattanAdjacent(t *testing.T) {
+	m := MustMesh(6, 4, 1)
+	for _, n := range m.Nodes() {
+		for _, nb := range m.Neighbors(n.ID) {
+			if d := n.Pos.Manhattan(m.Coordinate(nb)); d != 1 {
+				t.Fatalf("neighbor %v of %v at Manhattan distance %d, want 1",
+					m.Coordinate(nb), n.Pos, d)
+			}
+		}
+	}
+}
+
+func TestMeshPropertyRandomSizes(t *testing.T) {
+	prop := func(w, h uint8) bool {
+		width := int(w%7) + 1
+		height := int(h%7) + 1
+		m, err := NewMesh(width, height, 1)
+		if err != nil {
+			return false
+		}
+		if m.NodeCount() != width*height {
+			return false
+		}
+		wantLinks := 2 * (2*width*height - width - height)
+		return m.LinkCount() == wantLinks && m.Connected() && m.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinksAreSortedAndCopied(t *testing.T) {
+	m := MustMesh(2, 2, 1)
+	links := m.Links()
+	for i := 1; i < len(links); i++ {
+		prev, cur := links[i-1], links[i]
+		if prev.From > cur.From || (prev.From == cur.From && prev.To >= cur.To) {
+			t.Fatalf("links not strictly sorted at index %d: %v then %v", i, prev, cur)
+		}
+	}
+	links[0].LengthCM = 999
+	if l, _ := m.Link(links[0].From, links[0].To); l.LengthCM == 999 {
+		t.Fatal("mutating the returned slice changed graph state")
+	}
+}
+
+func TestOutAndInLinksAgree(t *testing.T) {
+	m := MustMesh(3, 3, 1)
+	for _, n := range m.Nodes() {
+		for _, l := range m.OutLinks(n.ID) {
+			found := false
+			for _, in := range m.InLinks(l.To) {
+				if in.From == n.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("out link %d->%d has no matching in link", l.From, l.To)
+			}
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := New()
+	a := g.MustAddNode(Coord{X: 0, Y: 0})
+	b := g.MustAddNode(Coord{X: 1, Y: 0})
+	if err := g.AddLink(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph reported error: %v", err)
+	}
+	// Corrupt the link index deliberately.
+	g.links[[2]NodeID{a, b}] = Link{From: a, To: b, LengthCM: -1}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed corrupted link length")
+	}
+}
