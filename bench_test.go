@@ -11,7 +11,9 @@
 package repro_test
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/aes"
@@ -28,6 +30,17 @@ import (
 // benchMeshSizes are the paper's mesh sizes; the heavier ablation benchmarks
 // use a subset to keep a full -bench=. run in the tens of seconds.
 var benchMeshSizes = []int{4, 5, 6, 7, 8}
+
+// benchWorkers is the worker count every experiment sweep in this harness
+// runs with: 0 (the default) means one worker per CPU. Override with
+//
+//	go test -bench=. -args -workers=1
+//
+// to benchmark the serial path.
+var benchWorkers = flag.Int("workers", 0, "worker goroutines per experiment sweep (0 = one per CPU)")
+
+// benchParallelism is the option threaded through every sweep call below.
+func benchParallelism() experiments.Option { return experiments.WithWorkers(*benchWorkers) }
 
 // BenchmarkFig2_DischargeCurve regenerates the thin-film battery discharge
 // curve of Fig 2 and reports the plateau and knee voltages.
@@ -58,7 +71,7 @@ func BenchmarkFig7_EARvsSDR(b *testing.B) {
 			var rows []experiments.Fig7Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = experiments.Fig7([]int{n})
+				rows, err = experiments.Fig7([]int{n}, benchParallelism())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -101,7 +114,7 @@ func BenchmarkTable2_EARvsUpperBound(b *testing.B) {
 			var rows []experiments.Table2Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = experiments.Table2([]int{n})
+				rows, err = experiments.Table2([]int{n}, benchParallelism())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -122,7 +135,7 @@ func BenchmarkFig8_ControllerFailures(b *testing.B) {
 			b.Run(fmt.Sprintf("%dx%d/%dctrl", n, n, c), func(b *testing.B) {
 				var jobs int
 				for i := 0; i < b.N; i++ {
-					rows, err := experiments.Fig8([]int{n}, []int{c})
+					rows, err := experiments.Fig8([]int{n}, []int{c}, benchParallelism())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -131,6 +144,35 @@ func BenchmarkFig8_ControllerFailures(b *testing.B) {
 				b.ReportMetric(float64(jobs), "jobs")
 			})
 		}
+	}
+}
+
+// BenchmarkFig8_GridScaling runs the full Fig 8 (mesh size × controller
+// count) grid — the heaviest sweep of the evaluation — under increasing
+// worker counts. Comparing the workers=1 and workers=GOMAXPROCS lines
+// measures the wall-clock speedup of the runner.Pool fan-out; on a 4-core
+// machine the parallel grid should finish at least ~2x faster than the
+// serial one.
+func BenchmarkFig8_GridScaling(b *testing.B) {
+	sizes := []int{4, 5, 6}
+	counts := experiments.PaperControllerCounts()
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig8(sizes, counts, experiments.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(sizes)*len(counts) {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+			b.ReportMetric(float64(len(sizes)*len(counts)), "cells")
+		})
 	}
 }
 
@@ -161,7 +203,7 @@ func BenchmarkAblation_EARWeightQ(b *testing.B) {
 		b.Run(fmt.Sprintf("Q=%g", q), func(b *testing.B) {
 			var jobs int
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.AblationEARWeight([]int{5}, []float64{q})
+				rows, err := experiments.AblationEARWeight([]int{5}, []float64{q}, benchParallelism())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -177,7 +219,7 @@ func BenchmarkAblation_Mapping(b *testing.B) {
 	var rows []experiments.AblationMappingRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.AblationMapping([]int{5})
+		rows, err = experiments.AblationMapping([]int{5}, benchParallelism())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +235,7 @@ func BenchmarkAblation_BatteryModel(b *testing.B) {
 	var rows []experiments.AblationBatteryRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.AblationBattery([]int{5})
+		rows, err = experiments.AblationBattery([]int{5}, benchParallelism())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +252,7 @@ func BenchmarkAblation_Concurrency(b *testing.B) {
 		b.Run(fmt.Sprintf("%djobs", jobs), func(b *testing.B) {
 			var completed, deadlocks int
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.AblationConcurrency([]int{5}, []int{jobs})
+				rows, err := experiments.AblationConcurrency([]int{5}, []int{jobs}, benchParallelism())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -230,7 +272,7 @@ func BenchmarkAblation_LinkFailures(b *testing.B) {
 		b.Run(fmt.Sprintf("failed=%.0f%%", 100*fraction), func(b *testing.B) {
 			var ear, sdr int
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.AblationLinkFailures([]int{5}, []float64{fraction})
+				rows, err := experiments.AblationLinkFailures([]int{5}, []float64{fraction}, benchParallelism())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
@@ -27,18 +27,21 @@ func main() {
 		sizesFlag = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
 		ctrlFlag  = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers   = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
 		charts    = flag.Bool("charts", false, "also render ASCII charts for the figures")
 	)
 	flag.Parse()
 
-	sizes, err := parseInts(*sizesFlag)
+	sizes, err := cli.ParseInts(*sizesFlag, "mesh size")
 	if err != nil {
 		fatal(err)
 	}
-	controllers, err := parseInts(*ctrlFlag)
+	controllers, err := cli.ParseInts(*ctrlFlag, "controller count")
 	if err != nil {
 		fatal(err)
 	}
+
+	parallelism := experiments.WithWorkers(*workers)
 
 	selected := strings.Split(*experiment, ",")
 	want := func(name string) bool {
@@ -64,7 +67,7 @@ func main() {
 		ran++
 	}
 	if want("fig7") {
-		rows, err := experiments.Fig7(sizes)
+		rows, err := experiments.Fig7(sizes, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +78,7 @@ func main() {
 		ran++
 	}
 	if want("table2") {
-		rows, err := experiments.Table2(sizes)
+		rows, err := experiments.Table2(sizes, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,7 +86,7 @@ func main() {
 		ran++
 	}
 	if want("fig8") {
-		rows, err := experiments.Fig8(sizes, controllers)
+		rows, err := experiments.Fig8(sizes, controllers, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,7 +97,7 @@ func main() {
 		ran++
 	}
 	if want("ablation-q") {
-		rows, err := experiments.AblationEARWeight(sizes, []float64{1, 1.5, 2, 3, 4})
+		rows, err := experiments.AblationEARWeight(sizes, []float64{1, 1.5, 2, 3, 4}, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +105,7 @@ func main() {
 		ran++
 	}
 	if want("ablation-mapping") {
-		rows, err := experiments.AblationMapping(sizes)
+		rows, err := experiments.AblationMapping(sizes, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,7 +113,7 @@ func main() {
 		ran++
 	}
 	if want("ablation-battery") {
-		rows, err := experiments.AblationBattery(sizes)
+		rows, err := experiments.AblationBattery(sizes, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -118,7 +121,7 @@ func main() {
 		ran++
 	}
 	if want("ablation-concurrency") {
-		rows, err := experiments.AblationConcurrency(sizes, []int{1, 2, 3, 4})
+		rows, err := experiments.AblationConcurrency(sizes, []int{1, 2, 3, 4}, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -126,7 +129,7 @@ func main() {
 		ran++
 	}
 	if want("ablation-links") {
-		rows, err := experiments.AblationLinkFailures(sizes, []float64{0, 0.1, 0.2, 0.3})
+		rows, err := experiments.AblationLinkFailures(sizes, []float64{0, 0.1, 0.2, 0.3}, parallelism)
 		if err != nil {
 			fatal(err)
 		}
@@ -136,25 +139,6 @@ func main() {
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
 	}
-}
-
-func parseInts(csv string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("invalid integer %q: %w", part, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values in %q", csv)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

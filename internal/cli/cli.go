@@ -1,0 +1,32 @@
+// Package cli holds small helpers shared by the command-line front ends
+// under cmd/.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated list of integers, trimming whitespace
+// and skipping empty elements. what names the quantity being parsed ("mesh
+// size", "controller count", ...) so both the per-element and the empty-list
+// errors read naturally in every front end.
+func ParseInts(csv, what string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid %s %q: %w", what, part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %ss in %q", what, csv)
+	}
+	return out, nil
+}

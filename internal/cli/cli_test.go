@@ -1,0 +1,23 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 4,5 , 6,,", "mesh size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Errorf("got %v", got)
+	}
+
+	if _, err := ParseInts("4,x", "mesh size"); err == nil || !strings.Contains(err.Error(), `invalid mesh size "x"`) {
+		t.Errorf("bad element: err = %v", err)
+	}
+	if _, err := ParseInts(" , ", "mesh size"); err == nil || !strings.Contains(err.Error(), "no mesh sizes") {
+		t.Errorf("empty list: err = %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,34 @@ func PaperMeshSizes() []int { return []int{4, 5, 6, 7, 8} }
 
 // PaperControllerCounts are the controller counts evaluated in Fig 8.
 func PaperControllerCounts() []int { return []int{1, 2, 4, 7, 10} }
+
+// ---------------------------------------------------------------------------
+// Sweep execution options
+// ---------------------------------------------------------------------------
+
+// Option configures how a sweep executes. Every sweep fans its independent
+// (mesh size, scenario) cells out over a runner.Pool; each cell constructs
+// its own simulator, so results are element-for-element identical for every
+// worker count.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// WithWorkers sets the number of worker goroutines a sweep may use. Values
+// below 1 (and the default) select runner.DefaultWorkers(), i.e. one worker
+// per CPU. WithWorkers(1) forces a serial run.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// newPool builds the worker pool for one sweep invocation.
+func newPool(opts []Option) *runner.Pool {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return runner.New(runner.WithWorkers(cfg.workers))
+}
 
 // ---------------------------------------------------------------------------
 // Fig 2: thin-film battery discharge curve
@@ -51,7 +80,13 @@ func Fig2(samples int) []Fig2Point {
 		dod := b.DeliveredPJ() / b.NominalPJ()
 		if dod >= next {
 			points = append(points, Fig2Point{DepthOfDischarge: dod, Voltage: b.Voltage()})
-			next += 1.0 / float64(samples)
+			// One Draw step can cross several 1/samples thresholds at once
+			// (always when samples exceeds the step resolution); catch next up
+			// past the current depth so the skipped thresholds don't make
+			// later samples fire early and bunch up.
+			for next <= dod {
+				next += 1.0 / float64(samples)
+			}
 		}
 	}
 	// Close the curve with the cutoff point at which the cell is declared
@@ -88,25 +123,25 @@ type Fig7Row struct {
 
 // Fig7 runs the EAR-vs-SDR comparison of Sec 7.1 on the given mesh sizes:
 // thin-film batteries, a single infinite-energy controller and one job in
-// flight.
-func Fig7(sizes []int) ([]Fig7Row, error) {
-	rows := make([]Fig7Row, 0, len(sizes))
-	for _, n := range sizes {
+// flight. The mesh sizes are evaluated in parallel; each cell runs its own
+// pair of simulations.
+func Fig7(sizes []int, opts ...Option) ([]Fig7Row, error) {
+	return runner.Map(newPool(opts), sizes, func(_ int, n int) (Fig7Row, error) {
 		ear, err := core.EAR(n)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		earRes, err := ear.Simulate()
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		sdr, err := core.SDR(n)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		sdrRes, err := sdr.Simulate()
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		row := Fig7Row{
 			Mesh:        n,
@@ -117,9 +152,8 @@ func Fig7(sizes []int) ([]Fig7Row, error) {
 		if sdrRes.JobsCompleted > 0 {
 			row.Gain = float64(earRes.JobsCompleted) / float64(sdrRes.JobsCompleted)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Fig7Table renders the Fig 7 data as a table including the control-overhead
@@ -172,21 +206,21 @@ var paperTable2 = map[int][2]float64{
 }
 
 // Table2 reproduces Table 2: EAR with the ideal battery model against the
-// analytical upper bound of Theorem 1.
-func Table2(sizes []int) ([]Table2Row, error) {
-	rows := make([]Table2Row, 0, len(sizes))
-	for _, n := range sizes {
+// analytical upper bound of Theorem 1. The mesh sizes are evaluated in
+// parallel.
+func Table2(sizes []int, opts ...Option) ([]Table2Row, error) {
+	return runner.Map(newPool(opts), sizes, func(_ int, n int) (Table2Row, error) {
 		strategy, err := core.EAR(n, core.WithIdealBatteries())
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		res, err := strategy.Simulate()
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		bound, err := strategy.UpperBound()
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		row := Table2Row{
 			Mesh:       n,
@@ -198,9 +232,8 @@ func Table2(sizes []int) ([]Table2Row, error) {
 			row.PaperEARJobs = paper[0]
 			row.PaperUpperBound = paper[1]
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Table2Table renders the reproduction next to the published numbers.
@@ -234,22 +267,22 @@ type Fig8Row struct {
 // Fig8 reproduces the controller-failure study of Sec 7.3: EAR with
 // thin-film batteries on both nodes and controllers, sweeping the number of
 // controllers for every mesh size.
-func Fig8(sizes, controllerCounts []int) ([]Fig8Row, error) {
-	rows := make([]Fig8Row, 0, len(sizes)*len(controllerCounts))
-	for _, n := range sizes {
-		for _, c := range controllerCounts {
-			strategy, err := core.EAR(n, core.WithControllers(c, true))
-			if err != nil {
-				return nil, err
-			}
-			res, err := strategy.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{Mesh: n, Controllers: c, Jobs: res.JobsCompleted, Reason: string(res.Reason)})
+// The full (mesh size × controller count) grid is evaluated in parallel,
+// one cell per simulation, in the row-major order of the former nested loops.
+func Fig8(sizes, controllerCounts []int, opts ...Option) ([]Fig8Row, error) {
+	cells := runner.Grid(sizes, controllerCounts)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, int]) (Fig8Row, error) {
+		n, c := cell.A, cell.B
+		strategy, err := core.EAR(n, core.WithControllers(c, true))
+		if err != nil {
+			return Fig8Row{}, err
 		}
-	}
-	return rows, nil
+		res, err := strategy.Simulate()
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		return Fig8Row{Mesh: n, Controllers: c, Jobs: res.JobsCompleted, Reason: string(res.Reason)}, nil
+	})
 }
 
 // Fig8Table renders the Fig 8 data with one row per mesh size and one column
@@ -309,24 +342,22 @@ type AblationQRow struct {
 // AblationEARWeight sweeps the base Q of the EAR weighting function
 // f(n) = Q^(levels-1-n). Q = 1 disables the battery information entirely
 // (every penalty becomes 1), so the sweep shows how strongly EAR relies on it.
-func AblationEARWeight(sizes []int, qs []float64) ([]AblationQRow, error) {
-	rows := make([]AblationQRow, 0, len(sizes)*len(qs))
-	for _, n := range sizes {
-		for _, q := range qs {
-			params := routing.DefaultEARParams()
-			params.Q = q
-			strategy, err := core.EAR(n, core.WithAlgorithm(routing.EAR{Params: params}))
-			if err != nil {
-				return nil, err
-			}
-			res, err := strategy.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationQRow{Mesh: n, Q: q, Jobs: res.JobsCompleted})
+func AblationEARWeight(sizes []int, qs []float64, opts ...Option) ([]AblationQRow, error) {
+	cells := runner.Grid(sizes, qs)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, float64]) (AblationQRow, error) {
+		n, q := cell.A, cell.B
+		params := routing.DefaultEARParams()
+		params.Q = q
+		strategy, err := core.EAR(n, core.WithAlgorithm(routing.EAR{Params: params}))
+		if err != nil {
+			return AblationQRow{}, err
 		}
-	}
-	return rows, nil
+		res, err := strategy.Simulate()
+		if err != nil {
+			return AblationQRow{}, err
+		}
+		return AblationQRow{Mesh: n, Q: q, Jobs: res.JobsCompleted}, nil
+	})
 }
 
 // AblationQTable renders the Q sweep.
@@ -352,37 +383,44 @@ type AblationMappingRow struct {
 // AblationMapping compares the paper's checkerboard mapping against the
 // Theorem-1 proportional mapping, row-major clustering and a random mapping,
 // all under EAR.
-func AblationMapping(sizes []int) ([]AblationMappingRow, error) {
-	var rows []AblationMappingRow
-	for _, n := range sizes {
-		// The proportional mapping needs the normalized energies as weights.
-		probe, err := core.EAR(n)
-		if err != nil {
-			return nil, err
-		}
-		bound, err := probe.UpperBound()
-		if err != nil {
-			return nil, err
-		}
-		strategies := []mapping.Strategy{
-			mapping.Checkerboard{},
-			mapping.Proportional{Weights: bound.NormalizedEnergies},
-			mapping.RowMajor{},
-			mapping.Random{Seed: 1},
-		}
-		for _, ms := range strategies {
-			strategy, err := core.EAR(n, core.WithMapping(ms))
+// The (mesh size × strategy) grid is evaluated in parallel. The proportional
+// strategy derives its weights from the analytical bound, which is cheap, so
+// the cell that needs them recomputes them instead of sharing a probe across
+// cells.
+func AblationMapping(sizes []int, opts ...Option) ([]AblationMappingRow, error) {
+	builders := []func(n int) (mapping.Strategy, error){
+		func(int) (mapping.Strategy, error) { return mapping.Checkerboard{}, nil },
+		func(n int) (mapping.Strategy, error) {
+			probe, err := core.EAR(n)
 			if err != nil {
 				return nil, err
 			}
-			res, err := strategy.Simulate()
+			bound, err := probe.UpperBound()
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, AblationMappingRow{Mesh: n, Strategy: ms.Name(), Jobs: res.JobsCompleted})
-		}
+			return mapping.Proportional{Weights: bound.NormalizedEnergies}, nil
+		},
+		func(int) (mapping.Strategy, error) { return mapping.RowMajor{}, nil },
+		func(int) (mapping.Strategy, error) { return mapping.Random{Seed: 1}, nil },
 	}
-	return rows, nil
+	cells := runner.Grid(sizes, builders)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, func(int) (mapping.Strategy, error)]) (AblationMappingRow, error) {
+		n := cell.A
+		ms, err := cell.B(n)
+		if err != nil {
+			return AblationMappingRow{}, err
+		}
+		strategy, err := core.EAR(n, core.WithMapping(ms))
+		if err != nil {
+			return AblationMappingRow{}, err
+		}
+		res, err := strategy.Simulate()
+		if err != nil {
+			return AblationMappingRow{}, err
+		}
+		return AblationMappingRow{Mesh: n, Strategy: ms.Name(), Jobs: res.JobsCompleted}, nil
+	})
 }
 
 // AblationMappingTable renders the mapping comparison.
@@ -409,33 +447,39 @@ type AblationBatteryRow struct {
 // AblationBattery quantifies how much of the EAR/SDR gap is contributed by
 // the thin-film battery's rate-capacity effect by re-running both algorithms
 // with the ideal battery model.
-func AblationBattery(sizes []int) ([]AblationBatteryRow, error) {
-	var rows []AblationBatteryRow
-	batteries := []struct {
-		name    string
+// The (mesh size × battery model × algorithm) grid is evaluated in parallel,
+// flattened in the row-major order of the former nested loops. Sharing the
+// factory and algorithm values across cells is race-free: factories are pure
+// constructors and the algorithms are stateless value types.
+func AblationBattery(sizes []int, opts ...Option) ([]AblationBatteryRow, error) {
+	type combo struct {
+		battery string
 		factory battery.Factory
-	}{
-		{"thin-film", battery.DefaultThinFilmFactory()},
-		{"ideal", battery.IdealFactory(battery.DefaultNominalPJ)},
+		alg     routing.Algorithm
 	}
-	for _, n := range sizes {
-		for _, b := range batteries {
-			for _, alg := range []routing.Algorithm{routing.NewEAR(), routing.SDR{}} {
-				strategy, err := core.New(n, core.WithAlgorithm(alg), core.WithNodeBattery(b.factory))
-				if err != nil {
-					return nil, err
-				}
-				res, err := strategy.Simulate()
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, AblationBatteryRow{
-					Mesh: n, Algorithm: alg.Name(), Battery: b.name, Jobs: res.JobsCompleted,
-				})
-			}
+	thinFilm := battery.DefaultThinFilmFactory()
+	ideal := battery.IdealFactory(battery.DefaultNominalPJ)
+	combos := []combo{
+		{"thin-film", thinFilm, routing.NewEAR()},
+		{"thin-film", thinFilm, routing.SDR{}},
+		{"ideal", ideal, routing.NewEAR()},
+		{"ideal", ideal, routing.SDR{}},
+	}
+	cells := runner.Grid(sizes, combos)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, combo]) (AblationBatteryRow, error) {
+		n := cell.A
+		strategy, err := core.New(n, core.WithAlgorithm(cell.B.alg), core.WithNodeBattery(cell.B.factory))
+		if err != nil {
+			return AblationBatteryRow{}, err
 		}
-	}
-	return rows, nil
+		res, err := strategy.Simulate()
+		if err != nil {
+			return AblationBatteryRow{}, err
+		}
+		return AblationBatteryRow{
+			Mesh: n, Algorithm: cell.B.alg.Name(), Battery: cell.B.battery, Jobs: res.JobsCompleted,
+		}, nil
+	})
 }
 
 // AblationBatteryTable renders the battery-model comparison.
@@ -462,25 +506,26 @@ type AblationConcurrencyRow struct {
 // AblationConcurrency feeds multiple concurrent jobs into the system (Sec 7's
 // closing remark) to exercise the deadlock recovery mechanism of the TDMA
 // scheme.
-func AblationConcurrency(sizes []int, concurrency []int) ([]AblationConcurrencyRow, error) {
-	var rows []AblationConcurrencyRow
-	for _, n := range sizes {
-		for _, jobs := range concurrency {
-			strategy, err := core.EAR(n, core.WithConcurrentJobs(jobs))
-			if err != nil {
-				return nil, err
-			}
-			res, err := strategy.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationConcurrencyRow{
-				Mesh: n, ConcurrentJobs: jobs,
-				JobsCompleted: res.JobsCompleted, DeadlockReports: res.DeadlockReports,
-			})
+// The (mesh size × jobs-in-flight) grid is evaluated in parallel. The jobs
+// are concurrent inside one simulated TDMA frame, not across goroutines; each
+// cell still owns a private simulator.
+func AblationConcurrency(sizes []int, concurrency []int, opts ...Option) ([]AblationConcurrencyRow, error) {
+	cells := runner.Grid(sizes, concurrency)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, int]) (AblationConcurrencyRow, error) {
+		n, jobs := cell.A, cell.B
+		strategy, err := core.EAR(n, core.WithConcurrentJobs(jobs))
+		if err != nil {
+			return AblationConcurrencyRow{}, err
 		}
-	}
-	return rows, nil
+		res, err := strategy.Simulate()
+		if err != nil {
+			return AblationConcurrencyRow{}, err
+		}
+		return AblationConcurrencyRow{
+			Mesh: n, ConcurrentJobs: jobs,
+			JobsCompleted: res.JobsCompleted, DeadlockReports: res.DeadlockReports,
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -499,32 +544,33 @@ type AblationLinkRow struct {
 // before the simulation starts — the wear-and-tear scenario that motivates
 // the paper's network-based architecture — and measures how gracefully EAR
 // and SDR degrade on the damaged fabric.
-func AblationLinkFailures(sizes []int, fractions []float64) ([]AblationLinkRow, error) {
-	var rows []AblationLinkRow
-	for _, n := range sizes {
-		for _, f := range fractions {
-			ear, err := core.EAR(n, core.WithFailedLinks(f, 1))
-			if err != nil {
-				return nil, err
-			}
-			earRes, err := ear.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			sdr, err := core.SDR(n, core.WithFailedLinks(f, 1))
-			if err != nil {
-				return nil, err
-			}
-			sdrRes, err := sdr.Simulate()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationLinkRow{
-				Mesh: n, Fraction: f, EARJobs: earRes.JobsCompleted, SDRJobs: sdrRes.JobsCompleted,
-			})
+// The (mesh size × failure fraction) grid is evaluated in parallel; link
+// removal is seeded deterministically per cell, so fan-out cannot change
+// which links fail.
+func AblationLinkFailures(sizes []int, fractions []float64, opts ...Option) ([]AblationLinkRow, error) {
+	cells := runner.Grid(sizes, fractions)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, float64]) (AblationLinkRow, error) {
+		n, f := cell.A, cell.B
+		ear, err := core.EAR(n, core.WithFailedLinks(f, 1))
+		if err != nil {
+			return AblationLinkRow{}, err
 		}
-	}
-	return rows, nil
+		earRes, err := ear.Simulate()
+		if err != nil {
+			return AblationLinkRow{}, err
+		}
+		sdr, err := core.SDR(n, core.WithFailedLinks(f, 1))
+		if err != nil {
+			return AblationLinkRow{}, err
+		}
+		sdrRes, err := sdr.Simulate()
+		if err != nil {
+			return AblationLinkRow{}, err
+		}
+		return AblationLinkRow{
+			Mesh: n, Fraction: f, EARJobs: earRes.JobsCompleted, SDRJobs: sdrRes.JobsCompleted,
+		}, nil
+	})
 }
 
 // AblationLinkTable renders the link-failure sweep.

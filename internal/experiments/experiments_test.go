@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,124 @@ func TestFig2CurveShape(t *testing.T) {
 	}
 	if Fig2(0) == nil {
 		t.Error("Fig2 with too few samples should still return points")
+	}
+}
+
+// TestFig2SampleCounts is the regression test for the threshold-skip bug:
+// when one Draw step crosses several 1/samples depth-of-discharge thresholds,
+// the sampler must catch next up past the current depth instead of advancing
+// it once (which made later samples fire early and bunch up).
+func TestFig2SampleCounts(t *testing.T) {
+	cases := []struct {
+		samples   int
+		effective int // Fig2 clamps samples < 2 to 2
+	}{
+		{samples: 0, effective: 2},
+		{samples: 1, effective: 2},
+		{samples: 2, effective: 2},
+		{samples: 100, effective: 100},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("samples=%d", tc.samples), func(t *testing.T) {
+			points := Fig2(tc.samples)
+			if len(points) < 3 {
+				t.Fatalf("only %d points", len(points))
+			}
+			// At most one point per threshold, plus the initial point and the
+			// closing cutoff point.
+			if max := tc.effective + 2; len(points) > max {
+				t.Errorf("%d points for %d thresholds; threshold catch-up is not de-duplicating", len(points), tc.effective)
+			}
+			// Interior points must land on distinct thresholds: consecutive
+			// samples are at least one threshold spacing apart (step-quantized,
+			// hence the small tolerance).
+			spacing := 1.0 / float64(tc.effective)
+			interior := points[1 : len(points)-1]
+			for i := 1; i < len(interior); i++ {
+				if gap := interior[i].DepthOfDischarge - interior[i-1].DepthOfDischarge; gap < spacing*0.5 {
+					t.Errorf("points %d and %d only %.4f apart, want >= %.4f: thresholds bunched up",
+						i-1, i, gap, spacing*0.5)
+				}
+			}
+			for i := 1; i < len(points); i++ {
+				if points[i].DepthOfDischarge <= points[i-1].DepthOfDischarge {
+					t.Errorf("depth of discharge not increasing at point %d", i)
+				}
+				if points[i].Voltage > points[i-1].Voltage+1e-9 {
+					t.Errorf("voltage not monotone at point %d", i)
+				}
+			}
+		})
+	}
+}
+
+// testWorkerCounts are the pool sizes the determinism tests compare: serial,
+// a fixed small fan-out, and whatever this machine defaults to.
+func testWorkerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// TestFig7DeterministicAcrossWorkers asserts the parallel sweep is
+// element-for-element identical to a serial reference run.
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	ref, err := Fig7(testSizes, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range testWorkerCounts() {
+		rows, err := Fig7(testSizes, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rows) != len(ref) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), len(ref))
+		}
+		for i := range ref {
+			if rows[i] != ref[i] {
+				t.Errorf("workers=%d: row %d = %+v, want %+v", workers, i, rows[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFig8DeterministicAcrossWorkers covers the two-dimensional grid: every
+// (mesh, controllers) cell must land at its input-order position with the
+// same value regardless of fan-out, and the rendered table must be
+// byte-identical to the serial path.
+func TestFig8DeterministicAcrossWorkers(t *testing.T) {
+	counts := []int{1, 4}
+	ref, err := Fig8(testSizes, counts, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable := Fig8Table(ref, counts).Render()
+	for _, workers := range testWorkerCounts() {
+		rows, err := Fig8(testSizes, counts, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rows) != len(ref) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), len(ref))
+		}
+		for i := range ref {
+			if rows[i] != ref[i] {
+				t.Errorf("workers=%d: row %d = %+v, want %+v", workers, i, rows[i], ref[i])
+			}
+		}
+		if table := Fig8Table(rows, counts).Render(); table != refTable {
+			t.Errorf("workers=%d: rendered table differs from the serial run", workers)
+		}
+	}
+}
+
+// TestSweepsPropagateCellErrors asserts a failing cell surfaces its error
+// through the pool instead of being lost in a worker.
+func TestSweepsPropagateCellErrors(t *testing.T) {
+	if _, err := Fig7([]int{4, -1}, WithWorkers(4)); err == nil {
+		t.Error("Fig7 accepted a negative mesh size")
+	}
+	if _, err := Fig8([]int{4}, []int{0, -2}, WithWorkers(4)); err == nil {
+		t.Error("Fig8 accepted a negative controller count")
 	}
 }
 

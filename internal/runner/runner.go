@@ -1,0 +1,243 @@
+// Package runner provides a deterministic worker pool for fanning
+// embarrassingly parallel experiment grids out over multiple goroutines.
+//
+// The experiment sweeps in internal/experiments evaluate independent
+// (mesh size, scenario) cells: every cell constructs its own simulator, so
+// no state is shared between cells and the only ordering requirement is that
+// the collected results appear in input order. runner.Map guarantees exactly
+// that: the result slice is indexed by input position, so a run with 8
+// workers is element-for-element identical to a serial run. Fault seeding and
+// the mapping PRNGs are deterministic per cell (seeded by cell parameters,
+// never by wall clock), which is what makes this fan-out safe.
+//
+// Semantics:
+//
+//   - Results preserve input order regardless of completion order.
+//   - On failure the error for the lowest-numbered failing cell wins — the
+//     lowest index among the cells that actually ran and failed, which keeps
+//     error selection as schedule-independent as cancellation allows (a cell
+//     skipped because a later-indexed failure cancelled first never gets to
+//     report). Cells never started because of cancellation are simply skipped.
+//   - A panic inside a cell is recovered and converted into a *PanicError
+//     carrying the cell index, the panic value and the stack trace, then
+//     treated like any other cell error. A panicking cell therefore cancels
+//     the sweep instead of killing the process.
+//   - An external context can cancel a run between cells via WithContext.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is the error a cell produces when its function panics. It keeps
+// the recovered value and the goroutine stack so the failure is debuggable
+// even though the panic happened off the caller's goroutine.
+type PanicError struct {
+	// Index is the input position of the cell that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the stack trace captured at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: cell %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Pool executes batches of independent cells over a fixed number of worker
+// goroutines. The zero value is not useful; construct pools with New. A Pool
+// carries no per-run state and may be reused for any number of Run/Map calls,
+// including concurrently.
+type Pool struct {
+	workers int
+	ctx     context.Context
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithWorkers sets the number of worker goroutines. Values below 1 select
+// DefaultWorkers().
+func WithWorkers(n int) Option {
+	return func(p *Pool) {
+		if n >= 1 {
+			p.workers = n
+		}
+	}
+}
+
+// WithContext attaches a context to the pool. A run aborts (between cells)
+// once the context is cancelled, returning the context's error if no cell
+// failed first.
+func WithContext(ctx context.Context) Option {
+	return func(p *Pool) {
+		if ctx != nil {
+			p.ctx = ctx
+		}
+	}
+}
+
+// DefaultWorkers is the worker count used when none is configured: the
+// scheduler's GOMAXPROCS, i.e. one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// New builds a pool. With no options it uses DefaultWorkers() workers and the
+// background context.
+func New(opts ...Option) *Pool {
+	p := &Pool{workers: DefaultWorkers(), ctx: context.Background()}
+	for _, o := range opts {
+		if o != nil {
+			o(p)
+		}
+	}
+	return p
+}
+
+// Workers reports the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes cell(i) for every i in [0, n), fanning the indices out over
+// the pool's workers. It blocks until every started cell has finished.
+//
+// The first failure — "first" meaning the lowest cell index among the cells
+// that actually ran and failed, so the result is independent of goroutine
+// scheduling — cancels the run: no new cells are started, in-flight cells run
+// to completion, and that error is returned. Panics are converted to
+// *PanicError and handled the same way.
+func (p *Pool) Run(n int, cell func(i int) error) error {
+	if n <= 0 {
+		return p.ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, no cancellation latency. The
+		// semantics are identical because lowest-index-error-wins degenerates
+		// to first-error-wins when cells run in index order.
+		for i := 0; i < n; i++ {
+			if err := p.ctx.Err(); err != nil {
+				return err
+			}
+			if err := runCell(i, cell); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n // lowest failing index seen so far; n means "none"
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := runCell(i, cell); err != nil {
+					fail(i, err)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(done.Load()) == n {
+		// Every cell completed: a cancellation that landed after the last
+		// cell is irrelevant, exactly as on the serial path.
+		return nil
+	}
+	return p.ctx.Err()
+}
+
+// runCell invokes cell(i) with panic recovery.
+func runCell(i int, cell func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cell(i)
+}
+
+// Map evaluates fn over every item and collects the results in input order.
+// Each fn(i, items[i]) runs as one pool cell; see Pool.Run for the error,
+// panic and cancellation semantics. On error the returned slice holds the
+// results of the cells that completed successfully (zero values elsewhere) so
+// callers that want partial progress can inspect it; most should discard it.
+//
+// A nil pool runs with New()'s defaults, so package-level helpers can accept
+// an optional pool without special-casing.
+func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	if p == nil {
+		p = New()
+	}
+	results := make([]R, len(items))
+	err := p.Run(len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Grid returns the row-major cross product of two parameter slices: every
+// (a, b) pair with a varying slowest. It is the canonical way to flatten a
+// two-dimensional sweep (mesh sizes × controller counts, mesh sizes × Q
+// values, ...) into the one-dimensional cell list Map consumes while keeping
+// the exact iteration order of the nested loops it replaces.
+func Grid[A, B any](as []A, bs []B) []Cell2[A, B] {
+	cells := make([]Cell2[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			cells = append(cells, Cell2[A, B]{A: a, B: b})
+		}
+	}
+	return cells
+}
+
+// Cell2 is one point of a two-dimensional parameter grid.
+type Cell2[A, B any] struct {
+	A A
+	B B
+}
