@@ -1,9 +1,18 @@
 // Command etsim runs a single et_sim simulation and prints the resulting
 // statistics. It is the command-line front end for the sim package.
 //
-// Example:
+// A run can be described either ad hoc with the individual flags, or by
+// naming a registered scenario:
 //
 //	etsim -mesh 4 -alg EAR -battery thinfilm -controllers 1 -v
+//	etsim -list-scenarios
+//	etsim -scenario stress-burst
+//	etsim -scenario smartshirt-verified -trace shirt.csv
+//
+// With -trace, the combined battery/throughput time-series of the run is
+// written to the given file as deterministic CSV. With -verify (or a
+// scenario that verifies payloads), any ciphertext mismatch is a hard
+// failure: etsim exits non-zero.
 package main
 
 import (
@@ -13,56 +22,81 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		meshSize    = flag.Int("mesh", 4, "square mesh size (4..8 in the paper)")
-		algName     = flag.String("alg", "EAR", "routing algorithm: EAR or SDR")
-		batteryKind = flag.String("battery", "thinfilm", "node battery model: thinfilm or ideal")
-		controllers = flag.Int("controllers", 1, "number of central controllers")
-		ctrlBattery = flag.Bool("controller-battery", false, "give controllers finite thin-film batteries (Sec 7.3)")
-		concurrent  = flag.Int("jobs", 1, "number of concurrent jobs in flight")
-		earQ        = flag.Float64("ear-q", routing.DefaultEARParams().Q, "EAR battery-weighting base Q")
-		verify      = flag.Bool("verify", false, "carry a real AES payload and verify every completed job")
-		maxCycles   = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
-		perNode     = flag.Bool("v", false, "print per-node statistics")
+		scenarioName  = flag.String("scenario", "", "run a registered scenario by name (see -list-scenarios); conflicts with the ad-hoc configuration flags, combines with -trace/-verify/-v/-max-cycles")
+		listScenarios = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		traceFile     = flag.String("trace", "", "write the per-frame battery/throughput time-series to this file as CSV")
+		meshSize      = flag.Int("mesh", 4, "square mesh size (4..8 in the paper)")
+		algName       = flag.String("alg", "EAR", "routing algorithm: EAR or SDR")
+		batteryKind   = flag.String("battery", "thinfilm", "node battery model: thinfilm or ideal")
+		controllers   = flag.Int("controllers", 1, "number of central controllers")
+		ctrlBattery   = flag.Bool("controller-battery", false, "give controllers finite thin-film batteries (Sec 7.3)")
+		concurrent    = flag.Int("jobs", 1, "number of concurrent jobs in flight")
+		earQ          = flag.Float64("ear-q", routing.DefaultEARParams().Q, "EAR battery-weighting base Q")
+		verify        = flag.Bool("verify", false, "carry a real AES payload and verify every completed job (mismatches exit non-zero)")
+		maxCycles     = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
+		perNode       = flag.Bool("v", false, "print per-node statistics")
 	)
 	flag.Parse()
 
-	cfg, err := sim.Default(*meshSize)
-	if err != nil {
-		fatal(err)
+	if *listScenarios {
+		fmt.Print(scenario.Table().Render())
+		return
 	}
-	switch *algName {
-	case "EAR", "ear":
-		params := routing.DefaultEARParams()
-		params.Q = *earQ
-		cfg.Algorithm = routing.EAR{Params: params}
-	case "SDR", "sdr":
-		cfg.Algorithm = routing.SDR{}
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q (want EAR or SDR)", *algName))
+
+	var cfg sim.Config
+	if *scenarioName != "" {
+		// A named scenario fully describes the configuration; silently
+		// ignoring an explicitly passed ad-hoc flag would run something other
+		// than what the user asked for, so it is an error instead. The
+		// run-shaping flags (-trace, -verify, -v, -max-cycles) still combine.
+		if set := conflictingFlags(); len(set) > 0 {
+			fatal(fmt.Errorf("-scenario %s already determines the configuration; drop the conflicting flag(s) %v",
+				*scenarioName, set))
+		}
+		spec, ok := scenario.Lookup(*scenarioName)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q; -list-scenarios shows the %d registered ones",
+				*scenarioName, len(scenario.Names())))
+		}
+		// The run-shaping flags still apply on top of a named scenario.
+		if *verify {
+			spec.VerifyPayload = true
+		}
+		if *perNode {
+			spec.CollectNodeStats = true
+		}
+		if *maxCycles > 0 {
+			spec.MaxCycles = *maxCycles
+		}
+		strategy, err := spec.Strategy()
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = strategy.Config()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
+			*controllers, *ctrlBattery, *concurrent, *maxCycles, *verify, *perNode)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	switch *batteryKind {
-	case "thinfilm":
-		cfg.NodeBattery = battery.DefaultThinFilmFactory()
-	case "ideal":
-		cfg.NodeBattery = battery.IdealFactory(battery.DefaultNominalPJ)
-	default:
-		fatal(fmt.Errorf("unknown battery model %q (want thinfilm or ideal)", *batteryKind))
-	}
-	cfg.Controllers = *controllers
-	if *ctrlBattery {
-		cfg.ControllerBattery = battery.DefaultThinFilmFactory()
-	}
-	cfg.ConcurrentJobs = *concurrent
-	cfg.MaxCycles = *maxCycles
-	cfg.CollectNodeStats = *perNode
-	if *verify {
-		cfg.Key = []byte("\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c")
+
+	var timeline *trace.Timeline
+	if *traceFile != "" {
+		timeline = &trace.Timeline{}
+		cfg.Observers = append(cfg.Observers, timeline)
 	}
 
 	s, err := sim.New(cfg)
@@ -100,6 +134,74 @@ func main() {
 		}
 		fmt.Print(nodes.Render())
 	}
+
+	if timeline != nil {
+		if err := os.WriteFile(*traceFile, []byte(timeline.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d frames written to %s\n", len(timeline.Rows()), *traceFile)
+	}
+
+	if res.PayloadMismatches > 0 {
+		fatal(fmt.Errorf("%d of %d verified payloads mismatched the reference cipher",
+			res.PayloadMismatches, res.PayloadJobsVerified+res.PayloadMismatches))
+	}
+}
+
+// conflictingFlags returns the names of the explicitly set flags that
+// describe a configuration of their own and therefore cannot be combined
+// with -scenario.
+func conflictingFlags() []string {
+	adHoc := map[string]bool{
+		"mesh": true, "alg": true, "battery": true, "controllers": true,
+		"controller-battery": true, "jobs": true, "ear-q": true,
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if adHoc[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// adHocConfig builds a simulator configuration from the individual flags,
+// preserving etsim's original flag-driven interface.
+func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
+	controllers int, ctrlBattery bool, concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
+	cfg, err := sim.Default(meshSize)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	switch algName {
+	case "EAR", "ear":
+		params := routing.DefaultEARParams()
+		params.Q = earQ
+		cfg.Algorithm = routing.EAR{Params: params}
+	case "SDR", "sdr":
+		cfg.Algorithm = routing.SDR{}
+	default:
+		return sim.Config{}, fmt.Errorf("unknown algorithm %q (want EAR or SDR)", algName)
+	}
+	switch batteryKind {
+	case "thinfilm":
+		cfg.NodeBattery = battery.DefaultThinFilmFactory()
+	case "ideal":
+		cfg.NodeBattery = battery.IdealFactory(battery.DefaultNominalPJ)
+	default:
+		return sim.Config{}, fmt.Errorf("unknown battery model %q (want thinfilm or ideal)", batteryKind)
+	}
+	cfg.Controllers = controllers
+	if ctrlBattery {
+		cfg.ControllerBattery = battery.DefaultThinFilmFactory()
+	}
+	cfg.ConcurrentJobs = concurrent
+	cfg.MaxCycles = maxCycles
+	cfg.CollectNodeStats = perNode
+	if verify {
+		cfg.Key = scenario.PaperKey()
+	}
+	return cfg, nil
 }
 
 func fatal(err error) {

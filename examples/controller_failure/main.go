@@ -1,8 +1,9 @@
 // Controller failure study: the Sec 7.3 scenario in which the centralized
 // TDMA controllers have finite thin-film batteries of their own. The example
-// sweeps the number of redundant controllers on a 5x5 mesh and shows how the
-// system lifetime saturates once the AES nodes — rather than the controllers
-// — become the limiting factor.
+// sweeps the number of redundant controllers on a 5x5 mesh — each point is a
+// declarative scenario spec, the same representation `etsim -scenario` runs —
+// and shows how the system lifetime saturates once the AES nodes, rather
+// than the controllers, become the limiting factor.
 //
 // Run with:
 //
@@ -13,7 +14,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -23,11 +24,7 @@ func main() {
 
 	// Reference: a single controller with an infinite energy source, the
 	// Sec 7.1 assumption, gives the node-limited lifetime.
-	reference, err := core.EAR(meshSize, core.WithControllers(1, false))
-	if err != nil {
-		log.Fatal(err)
-	}
-	refRes, err := reference.Simulate()
+	refRes, err := scenario.Spec{Mesh: meshSize}.Simulate()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,11 +33,8 @@ func main() {
 		fmt.Sprintf("Jobs completed on a %dx%d mesh vs number of battery-powered controllers (EAR)", meshSize, meshSize),
 		"controllers", "jobs completed", "lifetime [cycles]", "limited by")
 	for _, n := range counts {
-		strategy, err := core.EAR(meshSize, core.WithControllers(n, true))
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := strategy.Simulate()
+		spec := scenario.Spec{Mesh: meshSize, Controllers: n, FiniteControllers: true}
+		res, err := spec.Simulate()
 		if err != nil {
 			log.Fatal(err)
 		}

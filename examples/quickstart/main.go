@@ -3,6 +3,10 @@
 // its shortest-distance counterpart (SDR), and compare both against the
 // Theorem-1 upper bound.
 //
+// The two configurations come straight from the scenario registry: EAR is
+// the registered "paper-default" spec, SDR the registered "paper-sdr" spec.
+// `etsim -list-scenarios` shows everything else that can be run the same way.
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -12,13 +16,20 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
-	const meshSize = 4
+	earSpec, ok := scenario.Lookup("paper-default")
+	if !ok {
+		log.Fatal("paper-default scenario not registered")
+	}
+	sdrSpec, ok := scenario.Lookup("paper-sdr")
+	if !ok {
+		log.Fatal("paper-sdr scenario not registered")
+	}
 
-	ear, err := core.EAR(meshSize)
+	ear, err := earSpec.Strategy()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,11 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sdr, err := core.SDR(meshSize)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sdrResult, err := sdr.Simulate()
+	sdrResult, err := sdrSpec.Simulate()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Distributed AES-128 on a %dx%d e-textile mesh\n\n", meshSize, meshSize)
+	fmt.Printf("Distributed AES-128 on a %dx%d e-textile mesh\n\n", earSpec.Mesh, earSpec.Mesh)
 	fmt.Printf("EAR (energy-aware routing):      %3d jobs completed, system died after %d cycles (%s)\n",
 		earResult.JobsCompleted, earResult.LifetimeCycles, earResult.Reason)
 	fmt.Printf("SDR (shortest-distance routing): %3d jobs completed, system died after %d cycles (%s)\n",

@@ -5,6 +5,12 @@
 // verified against the reference cipher, demonstrating that the distributed
 // execution is functionally exact, not just an energy model.
 //
+// The configuration is the registered "smartshirt-verified" scenario, run
+// with two trace observers attached: a job-latency histogram and the
+// fleet-wide battery discharge curve, both fed by the simulator's event
+// stream (the same data `etsim -scenario smartshirt-verified -trace` writes
+// as CSV).
+//
 // Run with:
 //
 //	go run ./examples/smartshirt
@@ -14,25 +20,20 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
-	// A fixed session key shared with the off-garment receiver.
-	key := []byte{
-		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	spec, ok := scenario.Lookup("smartshirt-verified")
+	if !ok {
+		log.Fatal("smartshirt-verified scenario not registered")
 	}
 
-	strategy, err := core.EAR(6,
-		core.WithPayloadVerification(key),
-		core.WithNodeStats(),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := strategy.Simulate()
+	latency := &trace.LatencyHistogram{}
+	batteries := &trace.BatterySeries{}
+	res, err := spec.Simulate(latency, batteries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,6 +45,13 @@ func main() {
 	fmt.Printf("Garment lifetime: %d cycles (%d TDMA frames); died because: %s\n",
 		res.LifetimeCycles, res.Frames, res.Reason)
 	fmt.Printf("Dead nodes at end of life: %d of %d\n\n", res.DeadNodes, res.MeshNodes)
+
+	fmt.Print(latency.Table(8).Render())
+	if frames := batteries.Frames(); len(frames) > 0 {
+		first, last := frames[0], frames[len(frames)-1]
+		fmt.Printf("\nFleet battery: mean %.0f pJ at frame %d, mean %.0f pJ at frame %d (min %.0f pJ)\n\n",
+			first.MeanRemainingPJ, first.Frame, last.MeanRemainingPJ, last.Frame, last.MinRemainingPJ)
+	}
 
 	table := stats.NewTable("Per-node wear at end of life (module 1 = SubBytes/ShiftRows, 2 = MixColumns, 3 = KeyExpansion/AddRoundKey)",
 		"node", "module", "operations", "packets relayed", "energy delivered [pJ]", "dead")

@@ -57,6 +57,9 @@ type Strategy struct {
 	CollectNodeStats bool
 	// MaxCycles optionally bounds the simulated time.
 	MaxCycles int64
+	// Observers are attached to the simulator's event stream (battery
+	// time-series, throughput traces, ...; see internal/trace).
+	Observers []sim.Observer
 	// FailedLinkFraction removes that fraction of the mesh interconnects
 	// (wear-and-tear) before the simulation starts; FailedLinkSeed selects
 	// the deterministic fault pattern.
@@ -114,6 +117,12 @@ func WithNodeStats() Option { return func(s *Strategy) { s.CollectNodeStats = tr
 // WithMaxCycles bounds the simulated time.
 func WithMaxCycles(c int64) Option { return func(s *Strategy) { s.MaxCycles = c } }
 
+// WithObservers attaches observers to the simulator's event stream. Repeated
+// uses accumulate.
+func WithObservers(obs ...sim.Observer) Option {
+	return func(s *Strategy) { s.Observers = append(s.Observers, obs...) }
+}
+
 // WithFailedLinks removes the given fraction of the platform's interconnects
 // before the simulation starts, modelling wear-and-tear damage to the woven
 // wires. The pattern is deterministic for a given seed and never partitions
@@ -168,22 +177,24 @@ func SDR(meshSize int, opts ...Option) (*Strategy, error) {
 	return s, nil
 }
 
-// Config materialises the strategy into a simulator configuration.
+// Config materialises the strategy into a simulator configuration. It never
+// mutates the strategy: fault injection runs on a clone of the platform
+// graph, so materialising the same strategy twice yields identical
+// (independently damaged) topologies.
 func (s *Strategy) Config() (sim.Config, error) {
+	graph := s.Mesh.Graph
 	if s.FailedLinkFraction > 0 {
-		if _, err := topology.FailLinks(s.Mesh.Graph, s.FailedLinkFraction, s.FailedLinkSeed); err != nil {
+		graph = graph.Clone()
+		if _, err := topology.FailLinks(graph, s.FailedLinkFraction, s.FailedLinkSeed); err != nil {
 			return sim.Config{}, err
 		}
-		// The faults are now part of the topology; don't re-apply them if
-		// Config is called again.
-		s.FailedLinkFraction = 0
 	}
-	m, err := s.Mapper.Map(s.Mesh.Graph, s.App)
+	m, err := s.Mapper.Map(graph, s.App)
 	if err != nil {
 		return sim.Config{}, err
 	}
 	cfg := sim.Config{
-		Graph:              s.Mesh.Graph,
+		Graph:              graph,
 		App:                s.App,
 		Mapping:            m,
 		Algorithm:          s.Algorithm,
@@ -202,6 +213,7 @@ func (s *Strategy) Config() (sim.Config, error) {
 		Key:                s.Key,
 		CollectNodeStats:   s.CollectNodeStats,
 		MaxCycles:          s.MaxCycles,
+		Observers:          s.Observers,
 	}
 	if ear, ok := s.Algorithm.(routing.EAR); ok && ear.Params.Levels > 0 {
 		cfg.BatteryLevels = ear.Params.Levels

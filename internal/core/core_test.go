@@ -188,7 +188,7 @@ func TestConfigErrorsOnImpossibleMapping(t *testing.T) {
 	}
 }
 
-func TestWithFailedLinksDegradesTopologyOnce(t *testing.T) {
+func TestWithFailedLinksIsIdempotent(t *testing.T) {
 	s, err := EAR(5, WithFailedLinks(0.2, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +205,15 @@ func TestWithFailedLinksDegradesTopologyOnce(t *testing.T) {
 	if !cfg.Graph.Connected() {
 		t.Fatal("fault injection disconnected the mesh")
 	}
-	// Calling Config again must not remove further links.
+	// Materialising must not mutate the strategy: the platform graph stays
+	// intact and the fault parameters stay set.
+	if got := s.Mesh.Graph.LinkCount(); got != intact {
+		t.Fatalf("Config mutated the strategy's own topology: %d links, want %d", got, intact)
+	}
+	if s.FailedLinkFraction != 0.2 || s.FailedLinkSeed != 3 {
+		t.Fatalf("Config cleared the fault parameters: fraction %g, seed %d", s.FailedLinkFraction, s.FailedLinkSeed)
+	}
+	// A second materialisation yields the identical damaged topology.
 	cfg2, err := s.Config()
 	if err != nil {
 		t.Fatal(err)
@@ -213,12 +221,26 @@ func TestWithFailedLinksDegradesTopologyOnce(t *testing.T) {
 	if cfg2.Graph.LinkCount() != damaged {
 		t.Fatalf("second Config call changed the topology: %d -> %d links", damaged, cfg2.Graph.LinkCount())
 	}
+	for _, l := range cfg.Graph.Links() {
+		if _, ok := cfg2.Graph.Link(l.From, l.To); !ok {
+			t.Fatalf("second materialisation removed different links: %d -> %d missing", l.From, l.To)
+		}
+	}
+	// And two simulations of the same damaged strategy agree exactly.
 	res, err := s.Simulate()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.JobsCompleted == 0 {
 		t.Fatal("no jobs completed on the damaged mesh")
+	}
+	res2, err := s.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != res2.JobsCompleted || res.LifetimeCycles != res2.LifetimeCycles {
+		t.Fatalf("repeated simulation of a damaged strategy diverged: %d/%d jobs",
+			res.JobsCompleted, res2.JobsCompleted)
 	}
 	// An invalid fraction must surface as an error.
 	bad, err := EAR(4, WithFailedLinks(1.2, 1))

@@ -3,16 +3,19 @@
 // studies listed in DESIGN.md. Each experiment returns plain row structs so
 // the callers (cmd/etbench, the root-level benchmarks and the tests) can
 // render, assert on or export them as needed.
+//
+// Every sweep enumerates declarative scenario.Spec values — the same
+// representation behind `etsim -scenario` — and fans them out through
+// runner.Grid/runner.Map, so a paper figure is nothing more than a list of
+// specs plus a renderer.
 package experiments
 
 import (
 	"fmt"
 
 	"repro/internal/battery"
-	"repro/internal/core"
-	"repro/internal/mapping"
-	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -124,22 +127,14 @@ type Fig7Row struct {
 // Fig7 runs the EAR-vs-SDR comparison of Sec 7.1 on the given mesh sizes:
 // thin-film batteries, a single infinite-energy controller and one job in
 // flight. The mesh sizes are evaluated in parallel; each cell runs its own
-// pair of simulations.
+// pair of scenario specs.
 func Fig7(sizes []int, opts ...Option) ([]Fig7Row, error) {
 	return runner.Map(newPool(opts), sizes, func(_ int, n int) (Fig7Row, error) {
-		ear, err := core.EAR(n)
+		earRes, err := scenario.Spec{Mesh: n}.Simulate()
 		if err != nil {
 			return Fig7Row{}, err
 		}
-		earRes, err := ear.Simulate()
-		if err != nil {
-			return Fig7Row{}, err
-		}
-		sdr, err := core.SDR(n)
-		if err != nil {
-			return Fig7Row{}, err
-		}
-		sdrRes, err := sdr.Simulate()
+		sdrRes, err := scenario.Spec{Mesh: n, Algorithm: scenario.AlgorithmSDR}.Simulate()
 		if err != nil {
 			return Fig7Row{}, err
 		}
@@ -210,7 +205,7 @@ var paperTable2 = map[int][2]float64{
 // parallel.
 func Table2(sizes []int, opts ...Option) ([]Table2Row, error) {
 	return runner.Map(newPool(opts), sizes, func(_ int, n int) (Table2Row, error) {
-		strategy, err := core.EAR(n, core.WithIdealBatteries())
+		strategy, err := scenario.Spec{Mesh: n, Battery: scenario.BatteryIdeal}.Strategy()
 		if err != nil {
 			return Table2Row{}, err
 		}
@@ -273,11 +268,7 @@ func Fig8(sizes, controllerCounts []int, opts ...Option) ([]Fig8Row, error) {
 	cells := runner.Grid(sizes, controllerCounts)
 	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, int]) (Fig8Row, error) {
 		n, c := cell.A, cell.B
-		strategy, err := core.EAR(n, core.WithControllers(c, true))
-		if err != nil {
-			return Fig8Row{}, err
-		}
-		res, err := strategy.Simulate()
+		res, err := scenario.Spec{Mesh: n, Controllers: c, FiniteControllers: true}.Simulate()
 		if err != nil {
 			return Fig8Row{}, err
 		}
@@ -346,13 +337,7 @@ func AblationEARWeight(sizes []int, qs []float64, opts ...Option) ([]AblationQRo
 	cells := runner.Grid(sizes, qs)
 	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, float64]) (AblationQRow, error) {
 		n, q := cell.A, cell.B
-		params := routing.DefaultEARParams()
-		params.Q = q
-		strategy, err := core.EAR(n, core.WithAlgorithm(routing.EAR{Params: params}))
-		if err != nil {
-			return AblationQRow{}, err
-		}
-		res, err := strategy.Simulate()
+		res, err := scenario.Spec{Mesh: n, EARQ: q}.Simulate()
 		if err != nil {
 			return AblationQRow{}, err
 		}
@@ -383,35 +368,21 @@ type AblationMappingRow struct {
 // AblationMapping compares the paper's checkerboard mapping against the
 // Theorem-1 proportional mapping, row-major clustering and a random mapping,
 // all under EAR.
-// The (mesh size × strategy) grid is evaluated in parallel. The proportional
-// strategy derives its weights from the analytical bound, which is cheap, so
-// the cell that needs them recomputes them instead of sharing a probe across
-// cells.
+// The (mesh size × mapping) grid is evaluated in parallel. The proportional
+// spec derives its weights from the analytical bound inside Spec.Strategy,
+// which is cheap, so the cell that needs them recomputes them instead of
+// sharing a probe across cells.
 func AblationMapping(sizes []int, opts ...Option) ([]AblationMappingRow, error) {
-	builders := []func(n int) (mapping.Strategy, error){
-		func(int) (mapping.Strategy, error) { return mapping.Checkerboard{}, nil },
-		func(n int) (mapping.Strategy, error) {
-			probe, err := core.EAR(n)
-			if err != nil {
-				return nil, err
-			}
-			bound, err := probe.UpperBound()
-			if err != nil {
-				return nil, err
-			}
-			return mapping.Proportional{Weights: bound.NormalizedEnergies}, nil
-		},
-		func(int) (mapping.Strategy, error) { return mapping.RowMajor{}, nil },
-		func(int) (mapping.Strategy, error) { return mapping.Random{Seed: 1}, nil },
+	mappings := []string{
+		scenario.MappingCheckerboard,
+		scenario.MappingProportional,
+		scenario.MappingRowMajor,
+		scenario.MappingRandom,
 	}
-	cells := runner.Grid(sizes, builders)
-	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, func(int) (mapping.Strategy, error)]) (AblationMappingRow, error) {
+	cells := runner.Grid(sizes, mappings)
+	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, string]) (AblationMappingRow, error) {
 		n := cell.A
-		ms, err := cell.B(n)
-		if err != nil {
-			return AblationMappingRow{}, err
-		}
-		strategy, err := core.EAR(n, core.WithMapping(ms))
+		strategy, err := scenario.Spec{Mesh: n, Mapping: cell.B, MappingSeed: 1}.Strategy()
 		if err != nil {
 			return AblationMappingRow{}, err
 		}
@@ -419,7 +390,7 @@ func AblationMapping(sizes []int, opts ...Option) ([]AblationMappingRow, error) 
 		if err != nil {
 			return AblationMappingRow{}, err
 		}
-		return AblationMappingRow{Mesh: n, Strategy: ms.Name(), Jobs: res.JobsCompleted}, nil
+		return AblationMappingRow{Mesh: n, Strategy: strategy.Mapper.Name(), Jobs: res.JobsCompleted}, nil
 	})
 }
 
@@ -448,36 +419,29 @@ type AblationBatteryRow struct {
 // the thin-film battery's rate-capacity effect by re-running both algorithms
 // with the ideal battery model.
 // The (mesh size × battery model × algorithm) grid is evaluated in parallel,
-// flattened in the row-major order of the former nested loops. Sharing the
-// factory and algorithm values across cells is race-free: factories are pure
-// constructors and the algorithms are stateless value types.
+// flattened in the row-major order of the former nested loops. The cells
+// share nothing but immutable spec values.
 func AblationBattery(sizes []int, opts ...Option) ([]AblationBatteryRow, error) {
 	type combo struct {
-		battery string
-		factory battery.Factory
-		alg     routing.Algorithm
+		label   string // display name used in the rendered table
+		battery string // scenario.Spec battery value
+		alg     string
 	}
-	thinFilm := battery.DefaultThinFilmFactory()
-	ideal := battery.IdealFactory(battery.DefaultNominalPJ)
 	combos := []combo{
-		{"thin-film", thinFilm, routing.NewEAR()},
-		{"thin-film", thinFilm, routing.SDR{}},
-		{"ideal", ideal, routing.NewEAR()},
-		{"ideal", ideal, routing.SDR{}},
+		{"thin-film", scenario.BatteryThinFilm, scenario.AlgorithmEAR},
+		{"thin-film", scenario.BatteryThinFilm, scenario.AlgorithmSDR},
+		{"ideal", scenario.BatteryIdeal, scenario.AlgorithmEAR},
+		{"ideal", scenario.BatteryIdeal, scenario.AlgorithmSDR},
 	}
 	cells := runner.Grid(sizes, combos)
 	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, combo]) (AblationBatteryRow, error) {
 		n := cell.A
-		strategy, err := core.New(n, core.WithAlgorithm(cell.B.alg), core.WithNodeBattery(cell.B.factory))
-		if err != nil {
-			return AblationBatteryRow{}, err
-		}
-		res, err := strategy.Simulate()
+		res, err := scenario.Spec{Mesh: n, Algorithm: cell.B.alg, Battery: cell.B.battery}.Simulate()
 		if err != nil {
 			return AblationBatteryRow{}, err
 		}
 		return AblationBatteryRow{
-			Mesh: n, Algorithm: cell.B.alg.Name(), Battery: cell.B.battery, Jobs: res.JobsCompleted,
+			Mesh: n, Algorithm: cell.B.alg, Battery: cell.B.label, Jobs: res.JobsCompleted,
 		}, nil
 	})
 }
@@ -513,11 +477,7 @@ func AblationConcurrency(sizes []int, concurrency []int, opts ...Option) ([]Abla
 	cells := runner.Grid(sizes, concurrency)
 	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, int]) (AblationConcurrencyRow, error) {
 		n, jobs := cell.A, cell.B
-		strategy, err := core.EAR(n, core.WithConcurrentJobs(jobs))
-		if err != nil {
-			return AblationConcurrencyRow{}, err
-		}
-		res, err := strategy.Simulate()
+		res, err := scenario.Spec{Mesh: n, ConcurrentJobs: jobs}.Simulate()
 		if err != nil {
 			return AblationConcurrencyRow{}, err
 		}
@@ -551,19 +511,13 @@ func AblationLinkFailures(sizes []int, fractions []float64, opts ...Option) ([]A
 	cells := runner.Grid(sizes, fractions)
 	return runner.Map(newPool(opts), cells, func(_ int, cell runner.Cell2[int, float64]) (AblationLinkRow, error) {
 		n, f := cell.A, cell.B
-		ear, err := core.EAR(n, core.WithFailedLinks(f, 1))
+		earRes, err := scenario.Spec{Mesh: n, FailedLinkFraction: f, FailedLinkSeed: 1}.Simulate()
 		if err != nil {
 			return AblationLinkRow{}, err
 		}
-		earRes, err := ear.Simulate()
-		if err != nil {
-			return AblationLinkRow{}, err
-		}
-		sdr, err := core.SDR(n, core.WithFailedLinks(f, 1))
-		if err != nil {
-			return AblationLinkRow{}, err
-		}
-		sdrRes, err := sdr.Simulate()
+		sdrRes, err := scenario.Spec{
+			Mesh: n, Algorithm: scenario.AlgorithmSDR, FailedLinkFraction: f, FailedLinkSeed: 1,
+		}.Simulate()
 		if err != nil {
 			return AblationLinkRow{}, err
 		}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// traceNames are the registry scenarios the determinism suite traces: the
+// Fig 7 pair, a damaged fabric and a finite-controller configuration — small
+// meshes so the suite stays fast, but covering link faults, controller
+// batteries and both algorithms.
+var traceNames = []string{"paper-default", "paper-sdr", "degraded-fabric", "dual-controller-finite"}
+
+// traceAll runs every named scenario with a Timeline observer attached, one
+// runner cell per scenario, and returns the rendered CSVs in input order.
+func traceAll(workers int) ([]string, error) {
+	pool := runner.New(runner.WithWorkers(workers))
+	return runner.Map(pool, traceNames, func(_ int, name string) (string, error) {
+		spec, ok := scenario.Lookup(name)
+		if !ok {
+			return "", fmt.Errorf("scenario %q not registered", name)
+		}
+		timeline := &trace.Timeline{}
+		if _, err := spec.Simulate(timeline); err != nil {
+			return "", err
+		}
+		return timeline.CSV(), nil
+	})
+}
+
+// TestTraceDeterministicAcrossWorkers extends the PR-1 determinism suite to
+// the observer pipeline: the trace CSV a scenario produces must be
+// byte-identical whether the sweep ran serially or fanned out over a worker
+// pool. Each cell owns its simulator and its observers, so the event stream
+// never crosses goroutines — this pins that property.
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := traceAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, csv := range ref {
+		if len(csv) == 0 {
+			t.Fatalf("serial trace of %s is empty", traceNames[i])
+		}
+	}
+	for _, workers := range testWorkerCounts()[1:] {
+		got, err := traceAll(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d: trace of %s is not byte-identical to the serial trace",
+					workers, traceNames[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// The registry of named scenarios. Built-ins are registered at package
+// initialisation; applications may Register more at any time.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Spec)
+)
+
+// Register adds a named scenario to the registry. The spec must carry a
+// non-empty, unused Name.
+func Register(sp Spec) error {
+	if sp.Name == "" {
+		return fmt.Errorf("scenario: cannot register a spec without a name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := registry[sp.Name]; exists {
+		return fmt.Errorf("scenario: %q is already registered", sp.Name)
+	}
+	registry[sp.Name] = sp
+	return nil
+}
+
+// MustRegister is Register for static scenario definitions.
+func MustRegister(sp Spec) {
+	if err := Register(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sp, ok := registry[name]
+	return sp, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Spec {
+	names := Names()
+	regMu.RLock()
+	defer regMu.RUnlock()
+	specs := make([]Spec, 0, len(names))
+	for _, name := range names {
+		specs = append(specs, registry[name])
+	}
+	return specs
+}
+
+// Table renders the registry as a stats table (the body of
+// `etsim -list-scenarios`).
+func Table() *stats.Table {
+	t := stats.NewTable("Registered scenarios", "name", "mesh", "algorithm", "description")
+	for _, sp := range All() {
+		alg := sp.Algorithm
+		if alg == "" {
+			alg = AlgorithmEAR
+		}
+		t.AddRow(sp.Name, fmt.Sprintf("%dx%d", sp.Mesh, sp.Mesh), alg, sp.Description)
+	}
+	return t
+}
+
+// The built-in scenarios: the configurations behind the paper's figures and
+// tables, plus stress and degradation workloads that exercise the parts of
+// the stack the paper only sketches.
+func init() {
+	builtins := []Spec{
+		{
+			Name:        "paper-default",
+			Description: "Fig 7 baseline: EAR on the 4x4 mesh, thin-film batteries, one infinite-energy controller",
+			Mesh:        4,
+		},
+		{
+			Name:        "paper-sdr",
+			Description: "Fig 7 counterpart: shortest-distance routing on the otherwise identical 4x4 platform",
+			Mesh:        4,
+			Algorithm:   AlgorithmSDR,
+		},
+		{
+			Name:        "paper-large",
+			Description: "Fig 7 largest point: EAR on the 8x8 mesh (64 nodes)",
+			Mesh:        8,
+		},
+		{
+			Name:        "table2-ideal",
+			Description: "Table 2 configuration: EAR with ideal batteries on the 4x4 mesh, compared against Theorem 1",
+			Mesh:        4,
+			Battery:     BatteryIdeal,
+		},
+		{
+			Name:              "fig8-controllers",
+			Description:       "Fig 8 midpoint: EAR on the 5x5 mesh with 4 battery-powered controllers",
+			Mesh:              5,
+			Controllers:       4,
+			FiniteControllers: true,
+		},
+		{
+			Name:              "dual-controller-finite",
+			Description:       "controller redundancy study: 4x4 mesh with 2 battery-powered controllers (Sec 7.3)",
+			Mesh:              4,
+			Controllers:       2,
+			FiniteControllers: true,
+		},
+		{
+			Name:             "smartshirt-verified",
+			Description:      "the Fig 3a smart shirt: 6x6 mesh carrying real AES blocks, every ciphertext verified",
+			Mesh:             6,
+			VerifyPayload:    true,
+			CollectNodeStats: true,
+		},
+		{
+			Name:           "stress-burst",
+			Description:    "heavy traffic: 6x6 mesh with 4 concurrent jobs contending for single-job buffers",
+			Mesh:           6,
+			ConcurrentJobs: 4,
+		},
+		{
+			Name:           "stress-burst-sdr",
+			Description:    "heavy traffic under SDR: 6x6 mesh, 4 concurrent jobs, no battery awareness",
+			Mesh:           6,
+			Algorithm:      AlgorithmSDR,
+			ConcurrentJobs: 4,
+		},
+		{
+			Name:               "degraded-fabric",
+			Description:        "wear-and-tear: 5x5 mesh with 20% of the woven interconnects broken (seed 1)",
+			Mesh:               5,
+			FailedLinkFraction: 0.2,
+			FailedLinkSeed:     1,
+		},
+		{
+			Name:               "degraded-fabric-sdr",
+			Description:        "wear-and-tear under SDR: the same damaged 5x5 fabric routed without battery awareness",
+			Mesh:               5,
+			Algorithm:          AlgorithmSDR,
+			FailedLinkFraction: 0.2,
+			FailedLinkSeed:     1,
+		},
+		{
+			Name:        "ear-blind",
+			Description: "ablation A1 endpoint: EAR with Q=1, which ignores battery levels entirely",
+			Mesh:        4,
+			EARQ:        1,
+		},
+		{
+			Name:        "proportional-mapping",
+			Description: "ablation A2: 6x6 mesh mapped with the Theorem-1 proportional duplicate counts",
+			Mesh:        6,
+			Mapping:     MappingProportional,
+		},
+		{
+			Name:        "random-mapping",
+			Description: "ablation A2 baseline: 5x5 mesh with a seeded random module placement",
+			Mesh:        5,
+			Mapping:     MappingRandom,
+			MappingSeed: 1,
+		},
+	}
+	for _, sp := range builtins {
+		MustRegister(sp)
+	}
+}

@@ -1,0 +1,229 @@
+// Package scenario turns the paper's notion of an evaluation scenario into
+// declarative, nameable data. A Spec captures everything that distinguishes
+// one simulation run from another — mesh size, routing algorithm, module
+// mapping, battery model, controller configuration, offered load, link
+// faults, payload verification — as plain values, and materialises into a
+// runnable core.Strategy with Spec.Strategy().
+//
+// The package also keeps a registry of named scenarios: every figure/table
+// scenario of the paper plus additional stress and degradation workloads.
+// Registered scenarios are what `etsim -scenario <name>` runs and what
+// `etsim -list-scenarios` enumerates; adding a new workload to the whole
+// stack is one Register call, not an engine change.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Values for Spec.Algorithm.
+const (
+	// AlgorithmEAR selects the paper's energy-aware routing (the default).
+	AlgorithmEAR = "EAR"
+	// AlgorithmSDR selects shortest-distance routing.
+	AlgorithmSDR = "SDR"
+)
+
+// Values for Spec.Battery.
+const (
+	// BatteryThinFilm selects the thin-film model with the rate-capacity
+	// effect (the default).
+	BatteryThinFilm = "thinfilm"
+	// BatteryIdeal selects the ideal linear cell of the Table 2 comparison.
+	BatteryIdeal = "ideal"
+)
+
+// Values for Spec.Mapping.
+const (
+	// MappingCheckerboard is the paper's interleaved mapping (the default).
+	MappingCheckerboard = "checkerboard"
+	// MappingProportional derives duplicate counts from the Theorem-1
+	// normalized energies.
+	MappingProportional = "proportional"
+	// MappingRowMajor clusters each module's duplicates in contiguous
+	// blocks.
+	MappingRowMajor = "row-major"
+	// MappingRandom assigns modules pseudo-randomly, seeded by
+	// Spec.MappingSeed.
+	MappingRandom = "random"
+)
+
+// PaperKey is the AES-128 key used whenever a scenario requests payload
+// verification (the FIPS-197 Appendix B key, also used by the smartshirt
+// example).
+func PaperKey() []byte {
+	return []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+}
+
+// Spec is one declarative simulation scenario. The zero value of every field
+// selects the paper's default (EAR, checkerboard mapping, thin-film node
+// batteries, one infinite-energy controller, one job in flight, pristine
+// fabric, no payload); only Mesh is required. Specs are plain data: copy
+// them, mutate copies, register them under a name — materialising one never
+// mutates it.
+type Spec struct {
+	// Name identifies the scenario in the registry and in output labels.
+	Name string
+	// Description is the one-line summary shown by `etsim -list-scenarios`.
+	Description string
+
+	// Mesh is the square mesh size (the platform has Mesh x Mesh nodes).
+	Mesh int
+	// Algorithm is the routing algorithm: AlgorithmEAR (default) or
+	// AlgorithmSDR.
+	Algorithm string
+	// EARQ overrides the EAR battery-weighting base Q (0 = paper default).
+	EARQ float64
+	// BatteryLevels overrides the battery quantisation level count
+	// (0 = algorithm default).
+	BatteryLevels int
+	// Battery is the node battery model: BatteryThinFilm (default) or
+	// BatteryIdeal.
+	Battery string
+	// Mapping is the module-to-node mapping strategy: MappingCheckerboard
+	// (default), MappingProportional, MappingRowMajor or MappingRandom.
+	Mapping string
+	// MappingSeed seeds MappingRandom.
+	MappingSeed uint64
+	// Controllers is the number of central controllers (0 = 1).
+	Controllers int
+	// FiniteControllers attaches thin-film batteries to the controllers
+	// (the Sec 7.3 scenario); false models the infinite-energy controller.
+	FiniteControllers bool
+	// ConcurrentJobs is the number of jobs kept in flight (0 = 1).
+	ConcurrentJobs int
+	// FailedLinkFraction removes that fraction of the interconnects before
+	// the run (wear-and-tear); FailedLinkSeed selects the deterministic
+	// fault pattern.
+	FailedLinkFraction float64
+	FailedLinkSeed     uint64
+	// VerifyPayload makes every job carry a real AES block encrypted with
+	// PaperKey and verified against the reference cipher.
+	VerifyPayload bool
+	// CollectNodeStats enables per-node statistics in the result.
+	CollectNodeStats bool
+	// MaxCycles bounds the simulated time (0 = run to system death).
+	MaxCycles int64
+}
+
+// Label returns the scenario's display name: Name if set, otherwise an
+// algorithm-mesh synthetic label.
+func (sp Spec) Label() string {
+	if sp.Name != "" {
+		return sp.Name
+	}
+	alg := sp.Algorithm
+	if alg == "" {
+		alg = AlgorithmEAR
+	}
+	return fmt.Sprintf("%s-%dx%d", alg, sp.Mesh, sp.Mesh)
+}
+
+// algorithm materialises the routing algorithm described by the spec.
+func (sp Spec) algorithm() (routing.Algorithm, error) {
+	switch sp.Algorithm {
+	case "", AlgorithmEAR:
+		params := routing.DefaultEARParams()
+		if sp.EARQ > 0 {
+			params.Q = sp.EARQ
+		}
+		if sp.BatteryLevels > 0 {
+			params.Levels = sp.BatteryLevels
+		}
+		return routing.EAR{Params: params}, nil
+	case AlgorithmSDR:
+		return routing.SDR{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown algorithm %q (want %s or %s)",
+			sp.Algorithm, AlgorithmEAR, AlgorithmSDR)
+	}
+}
+
+// Strategy materialises the spec into a runnable core.Strategy; extra
+// options are applied last, so callers can refine a registered scenario
+// (attach observers, cap cycles) without redefining it.
+func (sp Spec) Strategy(extra ...core.Option) (*core.Strategy, error) {
+	if sp.Mesh < 1 {
+		return nil, fmt.Errorf("scenario %s: mesh size must be at least 1, got %d", sp.Label(), sp.Mesh)
+	}
+	alg, err := sp.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{core.WithAlgorithm(alg)}
+
+	switch sp.Battery {
+	case "", BatteryThinFilm:
+		// core's default.
+	case BatteryIdeal:
+		opts = append(opts, core.WithIdealBatteries())
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown battery model %q (want %s or %s)",
+			sp.Label(), sp.Battery, BatteryThinFilm, BatteryIdeal)
+	}
+
+	controllers := sp.Controllers
+	if controllers == 0 {
+		controllers = 1
+	}
+	opts = append(opts, core.WithControllers(controllers, sp.FiniteControllers))
+	if sp.ConcurrentJobs > 1 {
+		opts = append(opts, core.WithConcurrentJobs(sp.ConcurrentJobs))
+	}
+	if sp.FailedLinkFraction > 0 {
+		opts = append(opts, core.WithFailedLinks(sp.FailedLinkFraction, sp.FailedLinkSeed))
+	}
+	if sp.VerifyPayload {
+		opts = append(opts, core.WithPayloadVerification(PaperKey()))
+	}
+	if sp.CollectNodeStats {
+		opts = append(opts, core.WithNodeStats())
+	}
+	if sp.MaxCycles > 0 {
+		opts = append(opts, core.WithMaxCycles(sp.MaxCycles))
+	}
+	opts = append(opts, extra...)
+
+	s, err := core.New(sp.Mesh, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.Label = sp.Label()
+
+	switch sp.Mapping {
+	case "", MappingCheckerboard:
+		// core's default.
+	case MappingProportional:
+		bound, err := s.UpperBound()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: deriving proportional weights: %w", sp.Label(), err)
+		}
+		s.Mapper = mapping.Proportional{Weights: bound.NormalizedEnergies}
+	case MappingRowMajor:
+		s.Mapper = mapping.RowMajor{}
+	case MappingRandom:
+		s.Mapper = mapping.Random{Seed: sp.MappingSeed}
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown mapping %q (want %s, %s, %s or %s)",
+			sp.Label(), sp.Mapping, MappingCheckerboard, MappingProportional, MappingRowMajor, MappingRandom)
+	}
+	return s, nil
+}
+
+// Simulate materialises the spec and runs it to completion, attaching the
+// given observers to the simulator's event stream.
+func (sp Spec) Simulate(obs ...sim.Observer) (sim.Result, error) {
+	s, err := sp.Strategy(core.WithObservers(obs...))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Simulate()
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// sameResult compares everything except the per-node slice (which is not
+// comparable with ==; its aggregate is covered by DeadNodes and Energy).
+func sameResult(a, b sim.Result) bool {
+	return a.Algorithm == b.Algorithm && a.MeshNodes == b.MeshNodes &&
+		a.JobsCompleted == b.JobsCompleted && a.JobsLost == b.JobsLost &&
+		a.LifetimeCycles == b.LifetimeCycles && a.Frames == b.Frames &&
+		a.RoutingRecomputes == b.RoutingRecomputes && a.DeadlockReports == b.DeadlockReports &&
+		a.DeadNodes == b.DeadNodes && a.Reason == b.Reason && a.Energy == b.Energy &&
+		a.PayloadJobsVerified == b.PayloadJobsVerified && a.PayloadMismatches == b.PayloadMismatches
+}
+
+func TestRegistryHasThePaperAndStressScenarios(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("registry holds %d scenarios, want at least 10: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{
+		"paper-default", "paper-sdr", "table2-ideal", "smartshirt-verified",
+		"stress-burst", "degraded-fabric", "dual-controller-finite",
+	} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("scenario %q missing from the registry", want)
+		}
+	}
+	if len(All()) != len(names) {
+		t.Error("All() and Names() disagree")
+	}
+	if Table().NumRows() != len(names) {
+		t.Error("Table() row count mismatch")
+	}
+}
+
+func TestEveryRegisteredScenarioMaterialises(t *testing.T) {
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			s, err := sp.Strategy()
+			if err != nil {
+				t.Fatalf("Strategy: %v", err)
+			}
+			if s.Label != sp.Name {
+				t.Errorf("label %q, want %q", s.Label, sp.Name)
+			}
+			cfg, err := s.Config()
+			if err != nil {
+				t.Fatalf("Config: %v", err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("materialised config invalid: %v", err)
+			}
+			if cfg.Graph.NodeCount() != sp.Mesh*sp.Mesh {
+				t.Errorf("graph has %d nodes, want %d", cfg.Graph.NodeCount(), sp.Mesh*sp.Mesh)
+			}
+		})
+	}
+}
+
+// TestSpecMatchesCoreConstructors pins the contract the experiments layer
+// depends on: a Spec materialises into exactly the strategy the former
+// hand-rolled core constructors produced, so moving the sweeps onto specs
+// cannot change any figure or table.
+func TestSpecMatchesCoreConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		core func() (*core.Strategy, error)
+	}{
+		{"ear-default", Spec{Mesh: 4}, func() (*core.Strategy, error) { return core.EAR(4) }},
+		{"sdr", Spec{Mesh: 4, Algorithm: AlgorithmSDR}, func() (*core.Strategy, error) { return core.SDR(4) }},
+		{"ideal-battery", Spec{Mesh: 4, Battery: BatteryIdeal},
+			func() (*core.Strategy, error) { return core.EAR(4, core.WithIdealBatteries()) }},
+		{"finite-controllers", Spec{Mesh: 4, Controllers: 2, FiniteControllers: true},
+			func() (*core.Strategy, error) { return core.EAR(4, core.WithControllers(2, true)) }},
+		{"ear-q", Spec{Mesh: 4, EARQ: 3},
+			func() (*core.Strategy, error) {
+				params := routing.DefaultEARParams()
+				params.Q = 3
+				return core.EAR(4, core.WithAlgorithm(routing.EAR{Params: params}))
+			}},
+		{"concurrency", Spec{Mesh: 4, ConcurrentJobs: 3},
+			func() (*core.Strategy, error) { return core.EAR(4, core.WithConcurrentJobs(3)) }},
+		{"degraded", Spec{Mesh: 5, FailedLinkFraction: 0.2, FailedLinkSeed: 1},
+			func() (*core.Strategy, error) { return core.EAR(5, core.WithFailedLinks(0.2, 1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fromSpec, err := tc.spec.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := tc.core()
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := s.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(fromSpec, direct) {
+				t.Errorf("spec result differs from core constructor result:\nspec: %+v\ncore: %+v", fromSpec, direct)
+			}
+		})
+	}
+}
+
+func TestSpecIsReusable(t *testing.T) {
+	sp, ok := Lookup("degraded-fabric")
+	if !ok {
+		t.Fatal("degraded-fabric not registered")
+	}
+	a, err := sp.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(a, b) {
+		t.Errorf("two materialisations of the same spec diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSpecRejectsBadValues(t *testing.T) {
+	cases := []Spec{
+		{},                            // missing mesh
+		{Mesh: 4, Algorithm: "OSPF"},  // unknown algorithm
+		{Mesh: 4, Battery: "fusion"},  // unknown battery
+		{Mesh: 4, Mapping: "genetic"}, // unknown mapping
+	}
+	for _, sp := range cases {
+		if _, err := sp.Strategy(); err == nil {
+			t.Errorf("Strategy accepted invalid spec %+v", sp)
+		}
+		if _, err := sp.Simulate(); err == nil {
+			t.Errorf("Simulate accepted invalid spec %+v", sp)
+		}
+	}
+}
+
+func TestSpecSimulateAttachesObservers(t *testing.T) {
+	tp := &trace.Throughput{}
+	res, err := Spec{Mesh: 4}.Simulate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Completed() != res.JobsCompleted {
+		t.Errorf("observer saw %d completions, result says %d", tp.Completed(), res.JobsCompleted)
+	}
+	if len(tp.Frames()) == 0 {
+		t.Error("observer recorded no frames")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Spec{Mesh: 4}); err == nil {
+		t.Error("registered a nameless spec")
+	}
+	if err := Register(Spec{Name: "paper-default", Mesh: 4}); err == nil {
+		t.Error("registered a duplicate name")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("unexpected duplicate error: %v", err)
+	}
+	name := "test-custom-scenario"
+	if err := Register(Spec{Name: name, Description: "test only", Mesh: 4}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, ok := Lookup(name); !ok {
+		t.Error("registered scenario not found")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := (Spec{Mesh: 5}).Label(); got != "EAR-5x5" {
+		t.Errorf("anonymous EAR label = %q", got)
+	}
+	if got := (Spec{Mesh: 6, Algorithm: AlgorithmSDR}).Label(); got != "SDR-6x6" {
+		t.Errorf("anonymous SDR label = %q", got)
+	}
+	if got := (Spec{Name: "x", Mesh: 4}).Label(); got != "x" {
+		t.Errorf("named label = %q", got)
+	}
+}

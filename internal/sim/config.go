@@ -76,6 +76,11 @@ type Config struct {
 	Key []byte
 	// CollectNodeStats enables per-node statistics in the result.
 	CollectNodeStats bool
+	// Observers are attached to the simulator's event stream (see Observer).
+	// The engine's own result accounting is always active and costs nothing
+	// extra; nil entries are ignored. Observers receive events synchronously
+	// on the simulation goroutine and must not call back into the Simulator.
+	Observers []Observer
 }
 
 // Default returns a configuration for the paper's default scenario on the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -92,8 +93,25 @@ type Simulator struct {
 	// previous one is completed", Sec 7.1).
 	lastCompletion topology.NodeID
 
-	res  Result
-	dead bool
+	res          Result
+	dead         bool
+	finishReason DeathReason
+
+	// acct is the built-in result observer; observers holds the externally
+	// attached ones from Config.Observers (nil in the common case).
+	acct      resultObserver
+	observers []Observer
+
+	// Reusable scratch buffers for the hot loops, so steady-state simulation
+	// does not allocate. iterScratch backs the job snapshots taken by Run and
+	// settle (which never overlap); killScratch backs killNode's snapshot,
+	// which can be taken while an iterScratch snapshot is live. reachSeen,
+	// reachTargets and reachQueue back the BFS in reachableDuplicate.
+	iterScratch  []*jobState
+	killScratch  []*jobState
+	reachSeen    []bool
+	reachTargets []bool
+	reachQueue   []topology.NodeID
 }
 
 // New validates the configuration and builds a simulator.
@@ -109,6 +127,12 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.res.Algorithm = cfg.Algorithm.Name()
 	s.res.MeshNodes = cfg.Graph.NodeCount()
+	s.acct = resultObserver{res: &s.res}
+	for _, o := range cfg.Observers {
+		if o != nil {
+			s.observers = append(s.observers, o)
+		}
+	}
 
 	k := cfg.Graph.NodeCount()
 	s.nodes = make([]*nodeState, k)
@@ -174,7 +198,8 @@ func (s *Simulator) Run() Result {
 			break
 		}
 		s.now = next
-		for _, j := range append([]*jobState(nil), s.jobs...) {
+		s.iterScratch = append(s.iterScratch[:0], s.jobs...)
+		for _, j := range s.iterScratch {
 			if s.dead {
 				break
 			}
@@ -190,21 +215,31 @@ func (s *Simulator) Run() Result {
 			}
 		}
 	}
+	// RunFinished is emitted here, not inside finish: death can strike in
+	// the middle of a frame or of a cascade of job losses, and deferring the
+	// terminal event until the engine has fully unwound guarantees observers
+	// see it strictly after every other event. Neither the clock nor the
+	// frame counter advances once s.dead is set, so the values match the
+	// moment of death.
+	s.emitRunFinished(FinishEvent{
+		Now: s.now, Frame: s.frameCount, Reason: s.finishReason, JobsInFlight: len(s.jobs),
+	})
 	return s.res
 }
 
-// finish records the termination reason and final statistics.
+// finish marks the run as terminated. The termination reason, lifetime and
+// frame count land in the result through the built-in observer's RunFinished
+// hook, emitted at the end of Run; only the end-of-life battery autopsy
+// (stranded energy, per-node statistics) is computed here, because it needs
+// the engine's internal node state.
 func (s *Simulator) finish(reason DeathReason) {
 	if s.dead {
 		return
 	}
 	s.dead = true
-	s.res.Reason = reason
-	s.res.LifetimeCycles = s.now
-	s.res.Frames = s.frameCount
+	s.finishReason = reason
 	for _, n := range s.nodes {
 		if n.dead {
-			s.res.DeadNodes++
 			s.res.Energy.WastedPJ += n.battery.RemainingPJ()
 		}
 	}
@@ -250,7 +285,7 @@ func (s *Simulator) drawNode(n *nodeState, amountPJ float64) bool {
 	if err := n.battery.Draw(amountPJ); err != nil {
 		// Whatever the battery delivered before browning out was consumed but
 		// produced no useful work.
-		s.res.Energy.AbortedPJ += n.battery.DeliveredPJ() - before
+		s.emitEnergyAborted(EnergyEvent{Now: s.now, Node: n.id, EnergyPJ: n.battery.DeliveredPJ() - before})
 		s.killNode(n)
 		return false
 	}
@@ -264,7 +299,9 @@ func (s *Simulator) killNode(n *nodeState) {
 		return
 	}
 	n.dead = true
-	for _, j := range append([]*jobState(nil), s.jobs...) {
+	s.emitNodeDied(NodeEvent{Now: s.now, Node: n.id})
+	s.killScratch = append(s.killScratch[:0], s.jobs...)
+	for _, j := range s.killScratch {
 		if j.at == n.id || j.pendingNext == n.id {
 			s.loseJob(j)
 		}
@@ -348,6 +385,7 @@ func (s *Simulator) injectJob() {
 	}
 	s.nodes[j.at].resident++
 	s.jobs = append(s.jobs, j)
+	s.emitJobInjected(JobEvent{Now: s.now, Job: j.id, Node: j.at})
 }
 
 // removeJob drops a job from the active list and releases its buffer slots.
@@ -367,8 +405,9 @@ func (s *Simulator) removeJob(j *jobState) {
 // loseJob abandons a job (its packet was stranded on a dead node) and injects
 // a replacement so the offered load stays constant.
 func (s *Simulator) loseJob(j *jobState) {
+	at := j.at
 	s.removeJob(j)
-	s.res.JobsLost++
+	s.emitJobLost(JobEvent{Now: s.now, Job: j.id, Node: at})
 	if !s.dead {
 		s.injectJob()
 	}
@@ -378,26 +417,19 @@ func (s *Simulator) loseJob(j *jobState) {
 func (s *Simulator) completeJob(j *jobState) {
 	s.lastCompletion = j.at
 	s.removeJob(j)
-	s.res.JobsCompleted++
-	s.progress()
+	payload := PayloadNone
 	if j.hasPayload && s.cipher != nil {
-		want, err := s.cipher.EncryptBlock(j.plaintext)
-		if err == nil {
+		if want, err := s.cipher.EncryptBlock(j.plaintext); err == nil {
 			got := j.state.Bytes()
-			match := true
-			for i := range want {
-				if got[i] != want[i] {
-					match = false
-					break
-				}
-			}
-			if match {
-				s.res.PayloadJobsVerified++
+			if bytes.Equal(got[:], want) {
+				payload = PayloadVerified
 			} else {
-				s.res.PayloadMismatches++
+				payload = PayloadMismatch
 			}
 		}
 	}
+	s.emitJobCompleted(JobEvent{Now: s.now, Job: j.id, Node: j.at, Payload: payload})
+	s.progress()
 	if !s.dead {
 		s.injectJob()
 	}
@@ -408,7 +440,8 @@ func (s *Simulator) completeJob(j *jobState) {
 func (s *Simulator) settle() {
 	for moved := true; moved && !s.dead; {
 		moved = false
-		for _, j := range append([]*jobState(nil), s.jobs...) {
+		s.iterScratch = append(s.iterScratch[:0], s.jobs...)
+		for _, j := range s.iterScratch {
 			if s.dead {
 				return
 			}
@@ -465,40 +498,55 @@ func (s *Simulator) resolveRoute(j *jobState) bool {
 }
 
 // reachableDuplicate reports whether any living duplicate of the module is
-// reachable from the given node across living nodes only.
+// reachable from the given node across living nodes only. It runs on the
+// simulator's reusable scratch buffers, so repeated routing failures do not
+// allocate.
 func (s *Simulator) reachableDuplicate(from topology.NodeID, module app.ModuleID) bool {
 	if s.nodes[from].dead {
 		return false
 	}
-	targets := make(map[topology.NodeID]bool)
+	if s.reachSeen == nil {
+		k := s.graph.NodeCount()
+		s.reachSeen = make([]bool, k)
+		s.reachTargets = make([]bool, k)
+	}
+	seen, targets := s.reachSeen, s.reachTargets
+	for i := range seen {
+		seen[i] = false
+		targets[i] = false
+	}
+	anyTarget := false
 	for _, id := range s.destinations[module] {
 		if !s.nodes[id].dead {
 			targets[id] = true
+			anyTarget = true
 		}
 	}
-	if len(targets) == 0 {
+	if !anyTarget {
 		return false
 	}
 	if targets[from] {
 		return true
 	}
-	seen := map[topology.NodeID]bool{from: true}
-	queue := []topology.NodeID{from}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	seen[from] = true
+	queue := append(s.reachQueue[:0], from)
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		cur := queue[head]
 		for _, nb := range s.graph.Neighbors(cur) {
 			if seen[nb] || s.nodes[nb].dead {
 				continue
 			}
 			if targets[nb] {
-				return true
+				found = true
+				break
 			}
 			seen[nb] = true
 			queue = append(queue, nb)
 		}
 	}
-	return false
+	s.reachQueue = queue
+	return found
 }
 
 // block parks a job in a waiting phase, recording when it became blocked for
@@ -548,8 +596,9 @@ func (s *Simulator) startHop(j *jobState) bool {
 		return false // node died mid-transmission; killNode already handled the job
 	}
 	cur.commPJ += cost
-	s.res.Energy.CommunicationPJ += cost
-	if j.hopsThisLeg > 0 {
+	relayed := j.hopsThisLeg > 0
+	s.emitHopStarted(HopEvent{Now: s.now, Job: j.id, From: j.at, To: next, EnergyPJ: cost, Relayed: relayed})
+	if relayed {
 		cur.relayed++
 	}
 	j.hopsThisLeg++
@@ -582,7 +631,9 @@ func (s *Simulator) startCompute(j *jobState) bool {
 	}
 	n.compPJ += module.EnergyPerOpPJ
 	n.ops++
-	s.res.Energy.ComputationPJ += module.EnergyPerOpPJ
+	s.emitOperationStarted(OperationEvent{
+		Now: s.now, Job: j.id, Node: n.id, Module: module.ID, OpIndex: j.opIdx, EnergyPJ: module.EnergyPerOpPJ,
+	})
 	j.phase = phaseComputing
 	j.readyAt = s.now + int64(s.cfg.ComputeCyclesPerOp)
 	n.busyUntil = j.readyAt
@@ -595,8 +646,10 @@ func (s *Simulator) completeTimed(j *jobState) {
 	switch j.phase {
 	case phaseMoving:
 		s.nodes[j.at].resident--
+		from := j.at
 		j.at = j.pendingNext
 		j.pendingNext = topology.Invalid
+		s.emitHopFinished(HopEvent{Now: s.now, Job: j.id, From: from, To: j.at})
 		s.progress()
 		if s.nodes[j.at].dead {
 			s.loseJob(j)

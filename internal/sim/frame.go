@@ -12,12 +12,16 @@ import (
 // processFrame executes one TDMA control frame at the current cycle: nodes
 // upload their status, the active controller re-runs the routing algorithm if
 // the reported information changed, and new routing tables are downloaded.
+// All accounting flows through the observer event stream: every return path
+// emits a FrameProcessed event carrying whatever energy was actually charged
+// up to that point, so partial frames (the system dying mid-frame) are
+// accounted exactly like the former inline counters did.
 func (s *Simulator) processFrame() {
 	if s.dead {
 		return
 	}
 	s.frameCount++
-	s.res.Frames = s.frameCount
+	frame := FrameEvent{Now: s.now, Frame: s.frameCount}
 
 	uploadPJ := s.cfg.TDMA.UploadEnergyPerNodePJ()
 	for _, n := range s.nodes {
@@ -30,42 +34,40 @@ func (s *Simulator) processFrame() {
 				continue
 			}
 			n.ctrlPJ += uploadPJ
-			s.res.Energy.ControlUploadPJ += uploadPJ
+			frame.UploadPJ += uploadPJ
 		}
 	}
 	if s.dead {
+		s.emitFrameProcessed(frame)
 		return
 	}
 
 	snapshot := s.buildSnapshot()
-	newDeadlocks := 0
 	for id, st := range snapshot.Status {
 		if st.Deadlocked && (s.lastSnapshot == nil || !s.lastSnapshot.Status[id].Deadlocked) {
-			newDeadlocks++
+			frame.NewDeadlockReports++
 		}
 	}
-	s.res.DeadlockReports += newDeadlocks
 
 	changed := s.stateChanged(snapshot)
 
 	// Controller energy: bookkeeping every frame, plus the routing
 	// computation and the table download when the state changed.
 	k := s.graph.NodeCount()
-	activePJ := s.cfg.TDMA.ControllerFrameEnergyPJ(s.cfg.ControllerPower, k, changed)
-	downloadPJ := 0.0
-	if changed {
-		aliveCount := 0
-		for _, n := range s.nodes {
-			if !n.dead {
-				aliveCount++
-			}
+	frame.ControllerPJ = s.cfg.TDMA.ControllerFrameEnergyPJ(s.cfg.ControllerPower, k, changed)
+	aliveCount := 0
+	for _, n := range s.nodes {
+		if !n.dead {
+			aliveCount++
 		}
-		downloadPJ = s.cfg.TDMA.DownloadEnergyPerNodePJ() * float64(aliveCount)
 	}
-	s.res.Energy.ControllerPJ += activePJ
-	s.res.Energy.ControlDownloadPJ += downloadPJ
-	if err := s.pool.ServeFrame(activePJ+downloadPJ, 0); err != nil {
+	frame.AliveNodes = aliveCount
+	if changed {
+		frame.DownloadPJ = s.cfg.TDMA.DownloadEnergyPerNodePJ() * float64(aliveCount)
+	}
+	if err := s.pool.ServeFrame(frame.ControllerPJ+frame.DownloadPJ, 0); err != nil {
 		if errors.Is(err, tdma.ErrAllControllersDead) && s.cfg.ControllerBattery != nil {
+			s.emitFrameProcessed(frame)
 			s.finish(DeathControllersDead)
 			return
 		}
@@ -77,7 +79,7 @@ func (s *Simulator) processFrame() {
 		plan := routing.Compute(s.cfg.Algorithm, snapshot, s.destinations, prev)
 		s.tables = plan.Tables
 		s.lastSnapshot = snapshot
-		s.res.RoutingRecomputes++
+		frame.Recomputed = true
 		// Give blocked jobs a chance to re-resolve against the new tables.
 		for _, j := range s.jobs {
 			switch j.phase {
@@ -86,13 +88,16 @@ func (s *Simulator) processFrame() {
 			}
 		}
 	}
+	frame.JobsInFlight = len(s.jobs)
+	s.emitFrameProcessed(frame)
 	if s.moduleExtinct() {
 		s.finish(DeathModuleExtinct)
 	}
 }
 
 // buildSnapshot collects the per-node status reported during this frame's
-// upload phase.
+// upload phase, emitting one BatterySampled event per living node when
+// external observers are attached.
 func (s *Simulator) buildSnapshot() *routing.SystemState {
 	snapshot := &routing.SystemState{
 		Graph:  s.graph,
@@ -106,16 +111,29 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 			blocked[j.at] = true
 		}
 	}
+	sampling := len(s.observers) > 0
 	for _, n := range s.nodes {
 		if n.dead {
 			snapshot.Status[n.id] = routing.NodeStatus{Alive: false}
 			continue
 		}
 		s.restNode(n)
+		level := battery.Level(n.battery, s.cfg.BatteryLevels)
 		snapshot.Status[n.id] = routing.NodeStatus{
 			Alive:        true,
-			BatteryLevel: battery.Level(n.battery, s.cfg.BatteryLevels),
+			BatteryLevel: level,
 			Deadlocked:   blocked[n.id],
+		}
+		if sampling {
+			s.emitBatterySampled(BatteryEvent{
+				Now:         s.now,
+				Frame:       s.frameCount,
+				Node:        n.id,
+				Level:       level,
+				Levels:      s.cfg.BatteryLevels,
+				RemainingPJ: n.battery.RemainingPJ(),
+				Fraction:    n.battery.LevelFraction(),
+			})
 		}
 	}
 	return snapshot

@@ -443,6 +443,73 @@ func TestEnergyBreakdownHelpers(t *testing.T) {
 	}
 }
 
+// nopObserver stands in for the cheapest possible external observer.
+type nopObserver struct{ BaseObserver }
+
+// countingObserver exercises every hook, as a realistic tracing load.
+type countingObserver struct {
+	BaseObserver
+	events int
+}
+
+func (c *countingObserver) JobInjected(JobEvent)            { c.events++ }
+func (c *countingObserver) JobCompleted(JobEvent)           { c.events++ }
+func (c *countingObserver) HopStarted(HopEvent)             { c.events++ }
+func (c *countingObserver) OperationStarted(OperationEvent) { c.events++ }
+func (c *countingObserver) BatterySampled(BatteryEvent)     { c.events++ }
+func (c *countingObserver) FrameProcessed(FrameEvent)       { c.events++ }
+
+// TestObserverEventStreamMatchesResult cross-checks the event stream against
+// the result the built-in accounting produces from the same events.
+func TestObserverEventStreamMatchesResult(t *testing.T) {
+	counter := &countingObserver{}
+	res := run(t, 4, func(c *Config) { c.Observers = []Observer{nil, counter} })
+	if counter.events == 0 {
+		t.Fatal("observer saw no events")
+	}
+	bare := run(t, 4, nil)
+	if bare.JobsCompleted != res.JobsCompleted || bare.Energy != res.Energy ||
+		bare.LifetimeCycles != res.LifetimeCycles || bare.Reason != res.Reason {
+		t.Errorf("observers perturbed the simulation:\nbare:     %+v\nobserved: %+v", bare, res)
+	}
+}
+
+// BenchmarkSimulatorRun guards the observer refactor's zero-overhead claim:
+// the default configuration (no external observers — accounting only) must
+// run as fast as the engine did when the counters were inline, and a
+// steady-state run must not allocate per event. Compare the "bare" and
+// "noop-observer" lines to see the cost of attaching an external observer.
+func BenchmarkSimulatorRun(b *testing.B) {
+	cfg, err := Default(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name      string
+		observers []Observer
+	}{
+		{"bare", nil},
+		{"noop-observer", []Observer{nopObserver{}}},
+		{"counting-observer", []Observer{&countingObserver{}}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			c := cfg
+			c.Observers = v.observers
+			b.ReportAllocs()
+			var jobs int
+			for i := 0; i < b.N; i++ {
+				s, err := New(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs = s.Run().JobsCompleted
+			}
+			b.ReportMetric(float64(jobs), "jobs")
+		})
+	}
+}
+
 func BenchmarkSimulate4x4EAR(b *testing.B) {
 	cfg, err := Default(4)
 	if err != nil {

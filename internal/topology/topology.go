@@ -144,6 +144,27 @@ func (g *Graph) AddBiLink(a, b NodeID, lengthCM float64) error {
 	return g.AddLink(b, a, lengthCM)
 }
 
+// Clone returns a deep copy of the graph: mutations of the copy (link
+// removal, fault injection) never affect the original. Node IDs and
+// coordinates are preserved.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nodes = append(c.nodes, g.nodes...)
+	for pos, id := range g.byCoord {
+		c.byCoord[pos] = id
+	}
+	for key, l := range g.links {
+		c.links[key] = l
+	}
+	for id, ls := range g.out {
+		c.out[id] = append([]Link(nil), ls...)
+	}
+	for id, ls := range g.in {
+		c.in[id] = append([]Link(nil), ls...)
+	}
+	return c
+}
+
 // Has reports whether the graph contains a node with the given ID.
 func (g *Graph) Has(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
 

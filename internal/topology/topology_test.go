@@ -354,3 +354,46 @@ func TestValidateDetectsCorruption(t *testing.T) {
 		t.Fatal("Validate missed corrupted link length")
 	}
 }
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	m := MustMesh(4, 4, 1)
+	c := m.Graph.Clone()
+	if c.NodeCount() != m.NodeCount() || c.LinkCount() != m.LinkCount() {
+		t.Fatalf("clone shape %d nodes/%d links, want %d/%d",
+			c.NodeCount(), c.LinkCount(), m.NodeCount(), m.LinkCount())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone fails validation: %v", err)
+	}
+	for _, l := range m.Links() {
+		got, ok := c.Link(l.From, l.To)
+		if !ok || got.LengthCM != l.LengthCM {
+			t.Fatalf("clone missing or differing link %d -> %d", l.From, l.To)
+		}
+	}
+	// Mutating the clone must leave the original untouched, and vice versa.
+	before := m.LinkCount()
+	if _, err := FailLinks(c, 0.3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if c.LinkCount() >= before {
+		t.Fatal("FailLinks removed nothing from the clone")
+	}
+	if m.LinkCount() != before {
+		t.Fatalf("mutating the clone changed the original: %d links, want %d", m.LinkCount(), before)
+	}
+	id, _ := m.IDAt(1, 1)
+	nb, _ := m.IDAt(2, 1)
+	if err := m.RemoveBiLink(id, nb); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Link(id, nb); !ok {
+		// The clone kept this link only if FailLinks didn't happen to remove
+		// it; either way the original's removal must not propagate, which is
+		// what the LinkCount comparison below establishes.
+		t.Log("link also absent from clone (removed by FailLinks)")
+	}
+	if c.LinkCount() == m.LinkCount() {
+		t.Fatal("clone and original unexpectedly track each other")
+	}
+}
