@@ -286,17 +286,19 @@ func BenchmarkAblation_LinkFailures(b *testing.B) {
 
 // --- micro-benchmarks of the main substrates ---
 
-// BenchmarkMicro_AESEncryptBlock measures the reference cipher.
+// BenchmarkMicro_AESEncryptBlock measures the reference cipher on the
+// zero-allocation Encrypt path the engine's payload verification uses.
 func BenchmarkMicro_AESEncryptBlock(b *testing.B) {
 	c, err := aes.NewCipher(make([]byte, 16))
 	if err != nil {
 		b.Fatal(err)
 	}
 	block := make([]byte, aes.BlockSize)
+	out := make([]byte, aes.BlockSize)
 	b.SetBytes(aes.BlockSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.EncryptBlock(block); err != nil {
+		if err := c.Encrypt(out, block); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -306,7 +308,7 @@ func BenchmarkMicro_AESEncryptBlock(b *testing.B) {
 // (phases 1-3) on the largest mesh of the paper.
 func BenchmarkMicro_FloydWarshall8x8(b *testing.B) {
 	mesh := topology.MustMesh(8, 8, 1)
-	state := &routing.SystemState{Graph: mesh.Graph, Levels: 8, Status: map[topology.NodeID]routing.NodeStatus{}}
+	state := &routing.SystemState{Graph: mesh.Graph, Levels: 8, Status: make([]routing.NodeStatus, mesh.Size())}
 	for _, n := range mesh.Nodes() {
 		state.Status[n.ID] = routing.NodeStatus{Alive: true, BatteryLevel: int(n.ID) % 8}
 	}
@@ -322,6 +324,34 @@ func BenchmarkMicro_FloydWarshall8x8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routing.Compute(routing.NewEAR(), state, dests, nil)
+	}
+}
+
+// BenchmarkMicro_ComputeInto8x8 is the same controller computation as
+// BenchmarkMicro_FloydWarshall8x8 but through a reused routing.Workspace —
+// the steady-state path the simulator drives every TDMA frame. It must
+// report 0 allocs/op.
+func BenchmarkMicro_ComputeInto8x8(b *testing.B) {
+	mesh := topology.MustMesh(8, 8, 1)
+	state := &routing.SystemState{Graph: mesh.Graph, Levels: 8, Status: make([]routing.NodeStatus, mesh.Size())}
+	for _, n := range mesh.Nodes() {
+		state.Status[n.ID] = routing.NodeStatus{Alive: true, BatteryLevel: int(n.ID) % 8}
+	}
+	application := app.AES128()
+	dests := map[app.ModuleID][]topology.NodeID{}
+	for _, m := range application.Modules {
+		for _, node := range mesh.Nodes() {
+			if int(node.ID)%3 == int(m.ID)-1 {
+				dests[m.ID] = append(dests[m.ID], node.ID)
+			}
+		}
+	}
+	ws := routing.NewWorkspace()
+	var alg routing.Algorithm = routing.NewEAR()
+	var prev *routing.Tables
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev = routing.ComputeInto(ws, alg, state, dests, prev).Tables
 	}
 }
 

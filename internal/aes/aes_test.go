@@ -77,12 +77,13 @@ func TestStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(s.Bytes(), block) {
-		t.Fatalf("state round trip: got %x, want %x", s.Bytes(), block)
+	got := s.Bytes()
+	if !bytes.Equal(got[:], block) {
+		t.Fatalf("state round trip: got %x, want %x", got, block)
 	}
 	// Column-major layout check: byte 1 of the block is row 1, column 0.
-	if s[1][0] != 0x11 || s[0][1] != 0x44 {
-		t.Fatalf("state layout wrong: s[1][0]=%#02x s[0][1]=%#02x", s[1][0], s[0][1])
+	if s.At(1, 0) != 0x11 || s.At(0, 1) != 0x44 {
+		t.Fatalf("state layout wrong: At(1,0)=%#02x At(0,1)=%#02x", s.At(1, 0), s.At(0, 1))
 	}
 	if _, err := LoadState(block[:5]); err == nil {
 		t.Fatal("short block accepted")
@@ -96,16 +97,22 @@ func TestShiftRowsExample(t *testing.T) {
 	var s State
 	for r := 0; r < 4; r++ {
 		for c := 0; c < Nb; c++ {
-			s[r][c] = byte(4*r + c)
+			s.SetAt(r, c, byte(4*r+c))
 		}
 	}
 	out := ShiftRows(s)
 	// Row 0 unchanged, row 1 rotated left by 1, etc.
-	want := State{
+	wantRows := [4][4]byte{
 		{0, 1, 2, 3},
 		{5, 6, 7, 4},
 		{10, 11, 8, 9},
 		{15, 12, 13, 14},
+	}
+	var want State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < Nb; c++ {
+			want.SetAt(r, c, wantRows[r][c])
+		}
 	}
 	if out != want {
 		t.Fatalf("ShiftRows = %v, want %v", out, want)

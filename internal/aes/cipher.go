@@ -25,65 +25,103 @@ func (c *Cipher) KeySize() KeySize { return c.schedule.Size() }
 // Schedule returns the expanded key schedule.
 func (c *Cipher) Schedule() *KeySchedule { return c.schedule }
 
-// EncryptBlock encrypts a single 16-byte block.
-func (c *Cipher) EncryptBlock(plaintext []byte) ([]byte, error) {
-	s, err := LoadState(plaintext)
+// Encrypt encrypts the 16-byte block src into dst without allocating. dst
+// and src must each be exactly BlockSize bytes and may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) error {
+	s, err := LoadState(src)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	nr := c.schedule.Rounds()
-	s = AddRoundKey(s, c.schedule.mustRoundKey(0))
-	for round := 1; round < nr; round++ {
-		s = SubBytesShiftRows(s)
-		s = MixColumns(s)
-		s = AddRoundKey(s, c.schedule.mustRoundKey(round))
+	if len(dst) != BlockSize {
+		return fmt.Errorf("aes: destination must be %d bytes, got %d", BlockSize, len(dst))
 	}
-	s = SubBytesShiftRows(s)
-	s = AddRoundKey(s, c.schedule.mustRoundKey(nr))
-	return s.Bytes(), nil
+	c.encrypt(&s)
+	copy(dst, s[:])
+	return nil
 }
 
-// DecryptBlock decrypts a single 16-byte block.
-func (c *Cipher) DecryptBlock(ciphertext []byte) ([]byte, error) {
-	s, err := LoadState(ciphertext)
+// encrypt runs the cipher rounds in place.
+func (c *Cipher) encrypt(s *State) {
+	nr := c.schedule.Rounds()
+	addRoundKey(s, c.schedule.mustRoundKey(0))
+	for round := 1; round < nr; round++ {
+		subBytesShiftRows(s)
+		mixColumns(s)
+		addRoundKey(s, c.schedule.mustRoundKey(round))
+	}
+	subBytesShiftRows(s)
+	addRoundKey(s, c.schedule.mustRoundKey(nr))
+}
+
+// Decrypt decrypts the 16-byte block src into dst without allocating. dst
+// and src must each be exactly BlockSize bytes and may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) error {
+	s, err := LoadState(src)
 	if err != nil {
+		return err
+	}
+	if len(dst) != BlockSize {
+		return fmt.Errorf("aes: destination must be %d bytes, got %d", BlockSize, len(dst))
+	}
+	c.decrypt(&s)
+	copy(dst, s[:])
+	return nil
+}
+
+// decrypt runs the inverse cipher rounds in place.
+func (c *Cipher) decrypt(s *State) {
+	nr := c.schedule.Rounds()
+	addRoundKey(s, c.schedule.mustRoundKey(nr))
+	for round := nr - 1; round >= 1; round-- {
+		invSubBytesShiftRows(s)
+		addRoundKey(s, c.schedule.mustRoundKey(round))
+		invMixColumns(s)
+	}
+	invSubBytesShiftRows(s)
+	addRoundKey(s, c.schedule.mustRoundKey(0))
+}
+
+// EncryptBlock encrypts a single 16-byte block into a fresh slice. Hot paths
+// should use Encrypt with a reused destination buffer instead.
+func (c *Cipher) EncryptBlock(plaintext []byte) ([]byte, error) {
+	out := make([]byte, BlockSize)
+	if err := c.Encrypt(out, plaintext); err != nil {
 		return nil, err
 	}
-	nr := c.schedule.Rounds()
-	s = AddRoundKey(s, c.schedule.mustRoundKey(nr))
-	for round := nr - 1; round >= 1; round-- {
-		s = InvSubBytesShiftRows(s)
-		s = AddRoundKey(s, c.schedule.mustRoundKey(round))
-		s = InvMixColumns(s)
+	return out, nil
+}
+
+// DecryptBlock decrypts a single 16-byte block into a fresh slice. Hot paths
+// should use Decrypt with a reused destination buffer instead.
+func (c *Cipher) DecryptBlock(ciphertext []byte) ([]byte, error) {
+	out := make([]byte, BlockSize)
+	if err := c.Decrypt(out, ciphertext); err != nil {
+		return nil, err
 	}
-	s = InvSubBytesShiftRows(s)
-	s = AddRoundKey(s, c.schedule.mustRoundKey(0))
-	return s.Bytes(), nil
+	return out, nil
 }
 
 // EncryptECB encrypts a multiple-of-16-bytes buffer block by block. It exists
 // for the aescli tool and for generating deterministic multi-block workloads;
 // ECB offers no semantic security and must not be used to protect real data.
 func (c *Cipher) EncryptECB(plaintext []byte) ([]byte, error) {
-	return c.ecb(plaintext, c.EncryptBlock)
+	return c.ecb(plaintext, c.Encrypt)
 }
 
 // DecryptECB reverses EncryptECB.
 func (c *Cipher) DecryptECB(ciphertext []byte) ([]byte, error) {
-	return c.ecb(ciphertext, c.DecryptBlock)
+	return c.ecb(ciphertext, c.Decrypt)
 }
 
-func (c *Cipher) ecb(in []byte, f func([]byte) ([]byte, error)) ([]byte, error) {
+func (c *Cipher) ecb(in []byte, f func(dst, src []byte) error) ([]byte, error) {
 	if len(in)%BlockSize != 0 {
 		return nil, fmt.Errorf("aes: input length %d is not a multiple of the block size", len(in))
 	}
-	out := make([]byte, 0, len(in))
+	out := make([]byte, len(in))
 	for off := 0; off < len(in); off += BlockSize {
-		blk, err := f(in[off : off+BlockSize])
-		if err != nil {
+		if err := f(out[off:off+BlockSize], in[off:off+BlockSize]); err != nil {
 			return nil, err
 		}
-		out = append(out, blk...)
 	}
 	return out, nil
 }
@@ -201,22 +239,31 @@ func (p *Pipeline) Steps() []Step {
 // NumSteps returns the number of operations in one job.
 func (p *Pipeline) NumSteps() int { return len(p.steps) }
 
-// Apply executes step index i on the given state and returns the new state.
-func (p *Pipeline) Apply(s State, i int) (State, error) {
+// ApplyInPlace executes step index i on the state in place without
+// allocating — it is the form the simulation engine calls once per completed
+// operation. On error the state is left untouched.
+func (p *Pipeline) ApplyInPlace(s *State, i int) error {
 	if i < 0 || i >= len(p.steps) {
-		return s, fmt.Errorf("aes: step index %d out of range 0..%d", i, len(p.steps)-1)
+		return fmt.Errorf("aes: step index %d out of range 0..%d", i, len(p.steps)-1)
 	}
 	step := p.steps[i]
 	switch step.Kind {
 	case OpAddRoundKey:
-		return AddRoundKey(s, p.schedule.mustRoundKey(step.Round)), nil
+		addRoundKey(s, p.schedule.mustRoundKey(step.Round))
 	case OpSubBytesShiftRows:
-		return SubBytesShiftRows(s), nil
+		subBytesShiftRows(s)
 	case OpMixColumns:
-		return MixColumns(s), nil
+		mixColumns(s)
 	default:
-		return s, fmt.Errorf("aes: unknown operation kind %d", step.Kind)
+		return fmt.Errorf("aes: unknown operation kind %d", step.Kind)
 	}
+	return nil
+}
+
+// Apply executes step index i on the given state and returns the new state.
+func (p *Pipeline) Apply(s State, i int) (State, error) {
+	err := p.ApplyInPlace(&s, i)
+	return s, err
 }
 
 // Run executes the whole pipeline on a 16-byte plaintext block and returns
@@ -227,9 +274,10 @@ func (p *Pipeline) Run(plaintext []byte) ([]byte, error) {
 		return nil, err
 	}
 	for i := range p.steps {
-		if s, err = p.Apply(s, i); err != nil {
+		if err := p.ApplyInPlace(&s, i); err != nil {
 			return nil, err
 		}
 	}
-	return s.Bytes(), nil
+	out := s.Bytes()
+	return out[:], nil
 }

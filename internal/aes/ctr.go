@@ -46,10 +46,10 @@ func (c *CTR) counterBlock(index uint64) [BlockSize]byte {
 // modifies its input.
 func (c *CTR) Process(data []byte) ([]byte, error) {
 	out := make([]byte, len(data))
+	var keystream [BlockSize]byte
 	for offset := 0; offset < len(data); offset += BlockSize {
 		block := c.counterBlock(c.counter)
-		keystream, err := c.cipher.EncryptBlock(block[:])
-		if err != nil {
+		if err := c.cipher.Encrypt(keystream[:], block[:]); err != nil {
 			return nil, err
 		}
 		c.counter++

@@ -108,11 +108,12 @@ func (ks *KeySchedule) RoundKey(round int) ([]Word, error) {
 }
 
 // mustRoundKey is RoundKey for internal callers that already validated the
-// round index.
+// round index. Unlike RoundKey it returns a slice aliasing the schedule
+// without copying, so the per-round hot path does not allocate; callers must
+// treat it as read-only.
 func (ks *KeySchedule) mustRoundKey(round int) []Word {
-	rk, err := ks.RoundKey(round)
-	if err != nil {
-		panic(err)
+	if round < 0 || round > ks.Rounds() {
+		panic(fmt.Sprintf("aes: round %d out of range 0..%d", round, ks.Rounds()))
 	}
-	return rk
+	return ks.words[round*Nb : (round+1)*Nb]
 }

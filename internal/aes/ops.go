@@ -4,96 +4,130 @@ package aes
 // They map one-to-one onto the hardware modules of the paper's partitioning:
 // SubBytes and ShiftRows belong to Module 1, MixColumns to Module 2, and
 // AddRoundKey (together with KeyExpansion in key.go) to Module 3.
+//
+// Each transformation operates in place on the flat 16-byte state — the
+// engine applies millions of them while jobs flow through the mesh, so the
+// hot path must not allocate. The exported value-in/value-out forms are thin
+// wrappers kept for callers and tests that want pure-function semantics.
+
+// subBytes applies the S-box to every byte of the state in place.
+func subBytes(s *State) {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+// invSubBytes applies the inverse S-box to every byte of the state in place.
+func invSubBytes(s *State) {
+	for i := range s {
+		s[i] = invSbox[s[i]]
+	}
+}
+
+// shiftRows cyclically shifts row r of the state left by r positions in
+// place. Row r element c lives at flat index 4*c+r.
+func shiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var row [Nb]byte
+		for c := 0; c < Nb; c++ {
+			row[c] = s[Nb*((c+r)%Nb)+r]
+		}
+		for c := 0; c < Nb; c++ {
+			s[Nb*c+r] = row[c]
+		}
+	}
+}
+
+// invShiftRows cyclically shifts row r of the state right by r positions in
+// place.
+func invShiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var row [Nb]byte
+		for c := 0; c < Nb; c++ {
+			row[c] = s[Nb*((c+Nb-r)%Nb)+r]
+		}
+		for c := 0; c < Nb; c++ {
+			s[Nb*c+r] = row[c]
+		}
+	}
+}
+
+// mixColumns multiplies each column of the state by the fixed FIPS-197
+// polynomial {03}x^3 + {01}x^2 + {01}x + {02} in place. Columns are
+// contiguous in the flat layout.
+func mixColumns(s *State) {
+	for c := 0; c < Nb; c++ {
+		col := s[Nb*c : Nb*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+// invMixColumns multiplies each column by the inverse polynomial
+// {0b}x^3 + {0d}x^2 + {09}x + {0e} in place.
+func invMixColumns(s *State) {
+	for c := 0; c < Nb; c++ {
+		col := s[Nb*c : Nb*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}
+
+// addRoundKey XORs one round key (Nb words of the expanded key schedule)
+// into the state in place.
+func addRoundKey(s *State, roundKey []Word) {
+	for c := 0; c < Nb; c++ {
+		for r := 0; r < 4; r++ {
+			s[Nb*c+r] ^= roundKey[c][r]
+		}
+	}
+}
+
+// subBytesShiftRows performs the combined operation of the paper's Module 1
+// in place: one "act of computation" of that module applies SubBytes
+// followed by ShiftRows to the state it receives.
+func subBytesShiftRows(s *State) {
+	subBytes(s)
+	shiftRows(s)
+}
+
+// invSubBytesShiftRows reverses subBytesShiftRows in place.
+func invSubBytesShiftRows(s *State) {
+	invShiftRows(s)
+	invSubBytes(s)
+}
 
 // SubBytes applies the S-box to every byte of the state (Module 1).
-func SubBytes(s State) State {
-	var out State
-	for r := 0; r < 4; r++ {
-		for c := 0; c < Nb; c++ {
-			out[r][c] = sbox[s[r][c]]
-		}
-	}
-	return out
-}
+func SubBytes(s State) State { subBytes(&s); return s }
 
 // InvSubBytes applies the inverse S-box to every byte of the state.
-func InvSubBytes(s State) State {
-	var out State
-	for r := 0; r < 4; r++ {
-		for c := 0; c < Nb; c++ {
-			out[r][c] = invSbox[s[r][c]]
-		}
-	}
-	return out
-}
+func InvSubBytes(s State) State { invSubBytes(&s); return s }
 
 // ShiftRows cyclically shifts row r of the state left by r positions
 // (Module 1).
-func ShiftRows(s State) State {
-	var out State
-	for r := 0; r < 4; r++ {
-		for c := 0; c < Nb; c++ {
-			out[r][c] = s[r][(c+r)%Nb]
-		}
-	}
-	return out
-}
+func ShiftRows(s State) State { shiftRows(&s); return s }
 
 // InvShiftRows cyclically shifts row r of the state right by r positions.
-func InvShiftRows(s State) State {
-	var out State
-	for r := 0; r < 4; r++ {
-		for c := 0; c < Nb; c++ {
-			out[r][(c+r)%Nb] = s[r][c]
-		}
-	}
-	return out
-}
+func InvShiftRows(s State) State { invShiftRows(&s); return s }
 
-// SubBytesShiftRows performs the combined operation of the paper's Module 1:
-// one "act of computation" of that module applies SubBytes followed by
-// ShiftRows to the state it receives.
-func SubBytesShiftRows(s State) State { return ShiftRows(SubBytes(s)) }
+// SubBytesShiftRows performs the combined operation of the paper's Module 1.
+func SubBytesShiftRows(s State) State { subBytesShiftRows(&s); return s }
 
 // InvSubBytesShiftRows reverses SubBytesShiftRows.
-func InvSubBytesShiftRows(s State) State { return InvSubBytes(InvShiftRows(s)) }
+func InvSubBytesShiftRows(s State) State { invSubBytesShiftRows(&s); return s }
 
 // MixColumns multiplies each column of the state by the fixed FIPS-197
-// polynomial {03}x^3 + {01}x^2 + {01}x + {02} (Module 2).
-func MixColumns(s State) State {
-	var out State
-	for c := 0; c < Nb; c++ {
-		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
-		out[0][c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
-		out[1][c] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
-		out[2][c] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
-		out[3][c] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
-	}
-	return out
-}
+// polynomial (Module 2).
+func MixColumns(s State) State { mixColumns(&s); return s }
 
-// InvMixColumns multiplies each column by the inverse polynomial
-// {0b}x^3 + {0d}x^2 + {09}x + {0e}.
-func InvMixColumns(s State) State {
-	var out State
-	for c := 0; c < Nb; c++ {
-		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
-		out[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
-		out[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
-		out[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
-		out[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
-	}
-	return out
-}
+// InvMixColumns multiplies each column by the inverse polynomial.
+func InvMixColumns(s State) State { invMixColumns(&s); return s }
 
-// AddRoundKey XORs one round key (Nb words of the expanded key schedule) into
-// the state (Module 3).
-func AddRoundKey(s State, roundKey []Word) State {
-	var out State
-	for c := 0; c < Nb; c++ {
-		for r := 0; r < 4; r++ {
-			out[r][c] = s[r][c] ^ roundKey[c][r]
-		}
-	}
-	return out
-}
+// AddRoundKey XORs one round key into the state (Module 3).
+func AddRoundKey(s State, roundKey []Word) State { addRoundKey(&s, roundKey); return s }

@@ -8,39 +8,36 @@ const BlockSize = 16
 // Nb is the number of 32-bit columns in the state, fixed at 4 by FIPS-197.
 const Nb = 4
 
-// State is the 4x4 byte state array of FIPS-197. state[r][c] holds the byte
-// in row r, column c; input bytes fill the state column by column.
-type State [4][4]byte
+// State is the 4x4 byte state array of FIPS-197, stored flat in block order:
+// input bytes fill the state column by column (Sec 3.4), so the byte in row
+// r, column c lives at index 4*c+r and a State converts to and from a
+// 16-byte block with no reordering or allocation. The round operations in
+// ops.go mutate a State in place.
+type State [BlockSize]byte
 
-// LoadState fills a state from a 16-byte block in the column-major order
-// mandated by FIPS-197 Sec 3.4.
+// LoadState fills a state from a 16-byte block.
 func LoadState(block []byte) (State, error) {
 	var s State
 	if len(block) != BlockSize {
 		return s, fmt.Errorf("aes: block must be %d bytes, got %d", BlockSize, len(block))
 	}
-	for c := 0; c < Nb; c++ {
-		for r := 0; r < 4; r++ {
-			s[r][c] = block[4*c+r]
-		}
-	}
+	copy(s[:], block)
 	return s, nil
 }
 
-// Bytes serialises the state back into a 16-byte block.
-func (s State) Bytes() []byte {
-	out := make([]byte, BlockSize)
-	for c := 0; c < Nb; c++ {
-		for r := 0; r < 4; r++ {
-			out[4*c+r] = s[r][c]
-		}
-	}
-	return out
-}
+// At returns the byte in row r, column c of the FIPS-197 state array.
+func (s *State) At(r, c int) byte { return s[Nb*c+r] }
+
+// SetAt assigns the byte in row r, column c of the FIPS-197 state array.
+func (s *State) SetAt(r, c int, v byte) { s[Nb*c+r] = v }
+
+// Bytes serialises the state back into a 16-byte block. The state is already
+// stored in block order, so this is a plain array copy with no allocation.
+func (s State) Bytes() [BlockSize]byte { return [BlockSize]byte(s) }
 
 // String renders the state as 16 hexadecimal bytes in block order, which is
 // convenient when comparing against the FIPS-197 worked example.
-func (s State) String() string { return fmt.Sprintf("%x", s.Bytes()) }
+func (s State) String() string { return fmt.Sprintf("%x", s[:]) }
 
 // Word is a 32-bit word of the key schedule, stored as 4 bytes.
 type Word [4]byte

@@ -7,62 +7,109 @@ import (
 )
 
 // ShortestPaths is the result of phase 2: the all-pairs distance matrix D and
-// the successor matrix S. Succ[i][j] is the next hop on a shortest path from
-// i to j, or topology.Invalid when j is unreachable from i.
+// the successor matrix S, both stored flat for cache locality. Succ(i, j) is
+// the next hop on a shortest path from i to j, or topology.Invalid when j is
+// unreachable from i.
 type ShortestPaths struct {
-	Dist Matrix
-	Succ [][]topology.NodeID
+	n    int
+	dist Matrix
+	succ []topology.NodeID // row-major, n*n
 }
 
 // AllPairs runs the Floyd–Warshall variant of Fig 5 on the weight matrix W,
 // computing shortest distances and successors for every ordered node pair.
 // Ties are broken towards the successor with the smaller node ID so the
-// result is deterministic regardless of iteration order.
+// result is deterministic regardless of iteration order. Hot paths should
+// reuse a ShortestPaths via ComputeFrom instead.
 func AllPairs(w Matrix) *ShortestPaths {
+	sp := &ShortestPaths{}
+	sp.ComputeFrom(&w)
+	return sp
+}
+
+// ComputeFrom recomputes the all-pairs shortest paths for the weight matrix
+// W, reusing the receiver's backing storage. W is not modified.
+func (sp *ShortestPaths) ComputeFrom(w *Matrix) {
 	k := w.Dim()
-	dist := NewMatrix(k)
-	succ := make([][]topology.NodeID, k)
+	sp.n = k
+	sp.dist.Reset(k)
+	if cap(sp.succ) < k*k {
+		sp.succ = make([]topology.NodeID, k*k)
+	}
+	sp.succ = sp.succ[:k*k]
 	for i := 0; i < k; i++ {
-		succ[i] = make([]topology.NodeID, k)
+		distI := sp.dist.Row(i)
+		succI := sp.succ[i*k : (i+1)*k]
+		wI := w.Row(i)
 		for j := 0; j < k; j++ {
-			dist[i][j] = w[i][j]
+			distI[j] = wI[j]
 			switch {
 			case i == j:
-				succ[i][j] = topology.NodeID(i)
-			case w[i][j] < Inf:
-				succ[i][j] = topology.NodeID(j)
+				succI[j] = topology.NodeID(i)
+			case wI[j] < Inf:
+				succI[j] = topology.NodeID(j)
 			default:
-				succ[i][j] = topology.Invalid
+				succI[j] = topology.Invalid
 			}
 		}
 	}
 	for n := 0; n < k; n++ {
+		// Row n is never written while pivoting on n (the j == n and i == n
+		// cases are skipped), so hoisting the row slices out of the inner
+		// loop preserves the exact reference arithmetic.
+		distN := sp.dist.Row(n)
 		for i := 0; i < k; i++ {
-			if i == n || dist[i][n] == Inf {
+			if i == n {
 				continue
 			}
+			distI := sp.dist.Row(i)
+			din := distI[n]
+			if din == Inf {
+				continue
+			}
+			succI := sp.succ[i*k : (i+1)*k]
+			sin := succI[n]
 			for j := 0; j < k; j++ {
-				if j == n || j == i || dist[n][j] == Inf {
+				if j == n || j == i || distN[j] == Inf {
 					continue
 				}
-				through := dist[i][n] + dist[n][j]
+				through := din + distN[j]
 				switch {
-				case through < dist[i][j]:
-					dist[i][j] = through
-					succ[i][j] = succ[i][n]
-				case through == dist[i][j] && succ[i][n] != topology.Invalid &&
-					(succ[i][j] == topology.Invalid || succ[i][n] < succ[i][j]):
-					succ[i][j] = succ[i][n]
+				case through < distI[j]:
+					distI[j] = through
+					succI[j] = sin
+				case through == distI[j] && sin != topology.Invalid &&
+					(succI[j] == topology.Invalid || sin < succI[j]):
+					succI[j] = sin
 				}
 			}
 		}
 	}
-	return &ShortestPaths{Dist: dist, Succ: succ}
+}
+
+// Dim returns the number of nodes the paths were computed over.
+func (sp *ShortestPaths) Dim() int { return sp.n }
+
+// Dist returns the shortest weighted distance from src to dst (Inf when
+// unreachable).
+func (sp *ShortestPaths) Dist(src, dst topology.NodeID) float64 {
+	return sp.dist.At(int(src), int(dst))
+}
+
+// Succ returns the next hop on a shortest path from src to dst, or
+// topology.Invalid when dst is unreachable from src.
+func (sp *ShortestPaths) Succ(src, dst topology.NodeID) topology.NodeID {
+	return sp.succ[int(src)*sp.n+int(dst)]
 }
 
 // Reachable reports whether dst is reachable from src.
 func (sp *ShortestPaths) Reachable(src, dst topology.NodeID) bool {
-	return sp.Dist[src][dst] < Inf
+	return sp.Dist(src, dst) < Inf
+}
+
+// inRange reports whether both endpoints index valid nodes.
+func (sp *ShortestPaths) inRange(src, dst topology.NodeID) bool {
+	return int(src) >= 0 && int(src) < sp.n && int(dst) >= 0 && int(dst) < sp.n
 }
 
 // Path reconstructs the node sequence of a shortest path from src to dst
@@ -70,8 +117,7 @@ func (sp *ShortestPaths) Reachable(src, dst topology.NodeID) bool {
 // if dst is unreachable or a successor loop is detected (which would indicate
 // a corrupted matrix).
 func (sp *ShortestPaths) Path(src, dst topology.NodeID) ([]topology.NodeID, error) {
-	k := len(sp.Dist)
-	if int(src) < 0 || int(src) >= k || int(dst) < 0 || int(dst) >= k {
+	if !sp.inRange(src, dst) {
 		return nil, fmt.Errorf("routing: path endpoints %d -> %d out of range", src, dst)
 	}
 	if !sp.Reachable(src, dst) {
@@ -80,13 +126,13 @@ func (sp *ShortestPaths) Path(src, dst topology.NodeID) ([]topology.NodeID, erro
 	path := []topology.NodeID{src}
 	cur := src
 	for cur != dst {
-		next := sp.Succ[cur][dst]
+		next := sp.Succ(cur, dst)
 		if next == topology.Invalid {
 			return nil, fmt.Errorf("routing: missing successor from %d towards %d", cur, dst)
 		}
 		path = append(path, next)
 		cur = next
-		if len(path) > k {
+		if len(path) > sp.n {
 			return nil, fmt.Errorf("routing: successor loop detected between %d and %d", src, dst)
 		}
 	}
@@ -94,11 +140,19 @@ func (sp *ShortestPaths) Path(src, dst topology.NodeID) ([]topology.NodeID, erro
 }
 
 // HopCount returns the number of hops on the shortest path from src to dst,
-// or -1 if unreachable.
+// or -1 if unreachable. It walks the successor matrix directly and performs
+// no allocation.
 func (sp *ShortestPaths) HopCount(src, dst topology.NodeID) int {
-	p, err := sp.Path(src, dst)
-	if err != nil {
+	if !sp.inRange(src, dst) || !sp.Reachable(src, dst) {
 		return -1
 	}
-	return len(p) - 1
+	hops := 0
+	for cur := src; cur != dst; hops++ {
+		next := sp.Succ(cur, dst)
+		if next == topology.Invalid || hops >= sp.n {
+			return -1
+		}
+		cur = next
+	}
+	return hops
 }

@@ -18,6 +18,13 @@
 // state (alive flags, quantised battery levels, deadlock flags) as collected
 // by the TDMA control mechanism and produces routing tables. Energy
 // accounting and time live in the sim package.
+//
+// Because the controller re-runs all three phases whenever the reported
+// state changes — nearly every TDMA frame under EAR — the package is built
+// around dense, index-addressed storage (flat row-major matrices, slices
+// indexed by NodeID/ModuleID) and a reusable Workspace so that steady-state
+// recomputation performs no heap allocations. See DESIGN.md, "Performance
+// architecture".
 package routing
 
 import (
@@ -49,15 +56,25 @@ type NodeStatus struct {
 type SystemState struct {
 	// Graph is the physical topology.
 	Graph *topology.Graph
-	// Status maps every node to its last reported status. Nodes missing from
-	// the map are treated as dead.
-	Status map[topology.NodeID]NodeStatus
+	// Status holds every node's last reported status, indexed by NodeID
+	// (node IDs are dense and start at 0). Nodes beyond the end of the slice
+	// are treated as dead.
+	Status []NodeStatus
 	// Levels is the number of quantisation levels used for BatteryLevel.
 	Levels int
 }
 
+// StatusOf returns node id's reported status; out-of-range ids report the
+// zero status (dead).
+func (s *SystemState) StatusOf(id topology.NodeID) NodeStatus {
+	if int(id) < 0 || int(id) >= len(s.Status) {
+		return NodeStatus{}
+	}
+	return s.Status[id]
+}
+
 // Alive reports whether node id is alive in this snapshot.
-func (s *SystemState) Alive(id topology.NodeID) bool { return s.Status[id].Alive }
+func (s *SystemState) Alive(id topology.NodeID) bool { return s.StatusOf(id).Alive }
 
 // Equal reports whether two snapshots would lead the controller to the same
 // routing decision; the controller only re-runs the routing algorithm when
@@ -66,8 +83,8 @@ func (s *SystemState) Equal(o *SystemState) bool {
 	if o == nil || s.Levels != o.Levels || len(s.Status) != len(o.Status) {
 		return false
 	}
-	for id, st := range s.Status {
-		if o.Status[id] != st {
+	for i, st := range s.Status {
+		if o.Status[i] != st {
 			return false
 		}
 	}
@@ -76,45 +93,75 @@ func (s *SystemState) Equal(o *SystemState) bool {
 
 // Clone returns a deep copy of the snapshot.
 func (s *SystemState) Clone() *SystemState {
-	c := &SystemState{Graph: s.Graph, Levels: s.Levels, Status: make(map[topology.NodeID]NodeStatus, len(s.Status))}
-	for id, st := range s.Status {
-		c.Status[id] = st
-	}
+	c := &SystemState{Graph: s.Graph, Levels: s.Levels, Status: make([]NodeStatus, len(s.Status))}
+	copy(c.Status, s.Status)
 	return c
 }
 
-// Matrix is a dense KxK weight or distance matrix indexed by NodeID.
-type Matrix [][]float64
+// Matrix is a dense KxK weight or distance matrix stored as a flat row-major
+// backing array for cache locality; element (i, j) lives at cells[i*n+j].
+type Matrix struct {
+	n     int
+	cells []float64
+}
 
 // NewMatrix allocates a KxK matrix filled with Inf off-diagonal and 0 on the
 // diagonal.
 func NewMatrix(k int) Matrix {
-	m := make(Matrix, k)
-	for i := range m {
-		m[i] = make([]float64, k)
-		for j := range m[i] {
-			if i != j {
-				m[i][j] = Inf
-			}
-		}
-	}
+	var m Matrix
+	m.Reset(k)
 	return m
 }
 
+// Reset re-initialises the matrix to KxK with Inf off-diagonal and 0 on the
+// diagonal, reusing the backing array when its capacity allows.
+func (m *Matrix) Reset(k int) {
+	m.n = k
+	need := k * k
+	if cap(m.cells) < need {
+		m.cells = make([]float64, need)
+	}
+	m.cells = m.cells[:need]
+	for i := range m.cells {
+		m.cells[i] = Inf
+	}
+	for i := 0; i < k; i++ {
+		m.cells[i*k+i] = 0
+	}
+}
+
 // Dim returns the matrix dimension.
-func (m Matrix) Dim() int { return len(m) }
+func (m *Matrix) Dim() int { return m.n }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.cells[i*m.n+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.cells[i*m.n+j] = v }
+
+// Row returns row i as a slice aliasing the backing array.
+func (m *Matrix) Row(i int) []float64 { return m.cells[i*m.n : (i+1)*m.n] }
 
 // Algorithm builds phase-1 edge weights from a system snapshot. SDR and EAR
 // differ only in this phase; phases 2 and 3 are shared.
 type Algorithm interface {
 	// Name identifies the algorithm in experiment output ("SDR" or "EAR").
 	Name() string
-	// Weights returns the directed edge-weight matrix W for the snapshot.
-	Weights(state *SystemState) Matrix
+	// WeightsInto fills w with the directed edge-weight matrix W for the
+	// snapshot, reusing w's backing storage.
+	WeightsInto(w *Matrix, state *SystemState)
 	// NeedsBatteryInfo reports whether the algorithm's weights depend on the
 	// reported battery levels. The controller re-runs the routing algorithm
 	// only when information it actually uses has changed.
 	NeedsBatteryInfo() bool
+}
+
+// Weights returns a freshly allocated phase-1 weight matrix for the snapshot.
+// Hot paths should use Algorithm.WeightsInto with a reused matrix instead.
+func Weights(alg Algorithm, state *SystemState) Matrix {
+	var w Matrix
+	alg.WeightsInto(&w, state)
+	return w
 }
 
 // SDR is the shortest-distance routing algorithm: the weight of an existing
@@ -127,17 +174,15 @@ func (SDR) Name() string { return "SDR" }
 // NeedsBatteryInfo implements Algorithm: SDR ignores battery levels.
 func (SDR) NeedsBatteryInfo() bool { return false }
 
-// Weights implements Algorithm.
-func (SDR) Weights(state *SystemState) Matrix {
-	k := state.Graph.NodeCount()
-	w := NewMatrix(k)
+// WeightsInto implements Algorithm.
+func (SDR) WeightsInto(w *Matrix, state *SystemState) {
+	w.Reset(state.Graph.NodeCount())
 	for _, l := range state.Graph.Links() {
 		if !state.Alive(l.From) || !state.Alive(l.To) {
 			continue
 		}
-		w[l.From][l.To] = l.LengthCM
+		w.Set(int(l.From), int(l.To), l.LengthCM)
 	}
-	return w
 }
 
 // EARParams tunes the energy-aware weighting function
@@ -193,20 +238,18 @@ func (EAR) Name() string { return "EAR" }
 // battery level of the receiving node.
 func (EAR) NeedsBatteryInfo() bool { return true }
 
-// Weights implements Algorithm.
-func (e EAR) Weights(state *SystemState) Matrix {
+// WeightsInto implements Algorithm.
+func (e EAR) WeightsInto(w *Matrix, state *SystemState) {
 	params := e.Params
 	if params.Levels == 0 {
 		params = DefaultEARParams()
 	}
-	k := state.Graph.NodeCount()
-	w := NewMatrix(k)
+	w.Reset(state.Graph.NodeCount())
 	for _, l := range state.Graph.Links() {
 		if !state.Alive(l.From) || !state.Alive(l.To) {
 			continue
 		}
-		level := state.Status[l.To].BatteryLevel
-		w[l.From][l.To] = params.Penalty(level) * l.LengthCM
+		level := state.StatusOf(l.To).BatteryLevel
+		w.Set(int(l.From), int(l.To), params.Penalty(level)*l.LengthCM)
 	}
-	return w
 }

@@ -12,7 +12,7 @@ import (
 // fullState returns a snapshot in which every node of g is alive with a full
 // battery.
 func fullState(g *topology.Graph, levels int) *SystemState {
-	st := &SystemState{Graph: g, Levels: levels, Status: make(map[topology.NodeID]NodeStatus)}
+	st := &SystemState{Graph: g, Levels: levels, Status: make([]NodeStatus, g.NodeCount())}
 	for _, n := range g.Nodes() {
 		st.Status[n.ID] = NodeStatus{Alive: true, BatteryLevel: levels - 1}
 	}
@@ -22,21 +22,21 @@ func fullState(g *topology.Graph, levels int) *SystemState {
 func TestSDRWeightsMatchLinkLengths(t *testing.T) {
 	mesh := topology.MustMesh(3, 3, 2.5)
 	state := fullState(mesh.Graph, 8)
-	w := SDR{}.Weights(state)
+	w := Weights(SDR{}, state)
 	if w.Dim() != 9 {
 		t.Fatalf("weight matrix dimension = %d, want 9", w.Dim())
 	}
 	a, _ := mesh.IDAt(1, 1)
 	b, _ := mesh.IDAt(2, 1)
 	c, _ := mesh.IDAt(3, 3)
-	if w[a][b] != 2.5 {
-		t.Errorf("adjacent weight = %g, want 2.5", w[a][b])
+	if w.At(int(a), int(b)) != 2.5 {
+		t.Errorf("adjacent weight = %g, want 2.5", w.At(int(a), int(b)))
 	}
-	if w[a][a] != 0 {
-		t.Errorf("diagonal weight = %g, want 0", w[a][a])
+	if w.At(int(a), int(a)) != 0 {
+		t.Errorf("diagonal weight = %g, want 0", w.At(int(a), int(a)))
 	}
-	if !math.IsInf(w[a][c], 1) {
-		t.Errorf("non-adjacent weight = %g, want +Inf", w[a][c])
+	if !math.IsInf(w.At(int(a), int(c)), 1) {
+		t.Errorf("non-adjacent weight = %g, want +Inf", w.At(int(a), int(c)))
 	}
 }
 
@@ -47,12 +47,12 @@ func TestWeightsExcludeDeadNodes(t *testing.T) {
 	b, _ := mesh.IDAt(2, 1)
 	state.Status[b] = NodeStatus{Alive: false}
 	for _, alg := range []Algorithm{SDR{}, NewEAR()} {
-		w := alg.Weights(state)
-		if !math.IsInf(w[a][b], 1) {
-			t.Errorf("%s: edge into dead node has weight %g, want +Inf", alg.Name(), w[a][b])
+		w := Weights(alg, state)
+		if !math.IsInf(w.At(int(a), int(b)), 1) {
+			t.Errorf("%s: edge into dead node has weight %g, want +Inf", alg.Name(), w.At(int(a), int(b)))
 		}
-		if !math.IsInf(w[b][a], 1) {
-			t.Errorf("%s: edge out of dead node has weight %g, want +Inf", alg.Name(), w[b][a])
+		if !math.IsInf(w.At(int(b), int(a)), 1) {
+			t.Errorf("%s: edge out of dead node has weight %g, want +Inf", alg.Name(), w.At(int(b), int(a)))
 		}
 	}
 }
@@ -92,20 +92,20 @@ func TestEARWeightsPenalizeLowBattery(t *testing.T) {
 	// Node b is nearly depleted.
 	state.Status[b] = NodeStatus{Alive: true, BatteryLevel: 1}
 	ear := NewEAR()
-	w := ear.Weights(state)
-	if w[a][b] <= w[b][c] {
+	w := Weights(ear, state)
+	if w.At(int(a), int(b)) <= w.At(int(b), int(c)) {
 		t.Errorf("edge into depleted node (%g) should weigh more than edge into full node (%g)",
-			w[a][b], w[b][c])
+			w.At(int(a), int(b)), w.At(int(b), int(c)))
 	}
 	want := ear.Params.Penalty(1) * 1.0
-	if w[a][b] != want {
-		t.Errorf("weight into depleted node = %g, want %g", w[a][b], want)
+	if w.At(int(a), int(b)) != want {
+		t.Errorf("weight into depleted node = %g, want %g", w.At(int(a), int(b)), want)
 	}
 	// Zero-value EAR falls back to default parameters rather than dividing by zero.
 	var zeroEAR EAR
-	wz := zeroEAR.Weights(state)
-	if math.IsNaN(wz[a][b]) || wz[a][b] <= 0 {
-		t.Errorf("zero-value EAR produced weight %g", wz[a][b])
+	wz := Weights(zeroEAR, state)
+	if math.IsNaN(wz.At(int(a), int(b))) || wz.At(int(a), int(b)) <= 0 {
+		t.Errorf("zero-value EAR produced weight %g", wz.At(int(a), int(b)))
 	}
 }
 
@@ -115,14 +115,39 @@ func TestAlgorithmNames(t *testing.T) {
 	}
 }
 
+func TestMatrixResetReusesStorage(t *testing.T) {
+	m := NewMatrix(4)
+	m.Set(1, 2, 42)
+	m.Reset(3)
+	if m.Dim() != 3 {
+		t.Fatalf("Dim after Reset = %d, want 3", m.Dim())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := Inf
+			if i == j {
+				want = 0
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("At(%d,%d) = %g after Reset, want %g", i, j, m.At(i, j), want)
+			}
+		}
+	}
+	// Growing past the original capacity must also work.
+	m.Reset(6)
+	if m.Dim() != 6 || m.At(5, 5) != 0 || !math.IsInf(m.At(0, 5), 1) {
+		t.Fatal("Reset to a larger dimension produced a malformed matrix")
+	}
+}
+
 func TestAllPairsOnLineGraph(t *testing.T) {
 	mesh := topology.MustMesh(4, 1, 1)
 	state := fullState(mesh.Graph, 8)
-	sp := AllPairs(SDR{}.Weights(state))
+	sp := AllPairs(Weights(SDR{}, state))
 	a, _ := mesh.IDAt(1, 1)
 	d, _ := mesh.IDAt(4, 1)
-	if sp.Dist[a][d] != 3 {
-		t.Errorf("distance end-to-end = %g, want 3", sp.Dist[a][d])
+	if sp.Dist(a, d) != 3 {
+		t.Errorf("distance end-to-end = %g, want 3", sp.Dist(a, d))
 	}
 	path, err := sp.Path(a, d)
 	if err != nil {
@@ -139,15 +164,31 @@ func TestAllPairsOnLineGraph(t *testing.T) {
 	}
 }
 
+func TestHopCountDoesNotAllocate(t *testing.T) {
+	mesh := topology.MustMesh(6, 6, 1)
+	state := fullState(mesh.Graph, 8)
+	sp := AllPairs(Weights(SDR{}, state))
+	a, _ := mesh.IDAt(1, 1)
+	d, _ := mesh.IDAt(6, 6)
+	allocs := testing.AllocsPerRun(100, func() {
+		if sp.HopCount(a, d) != 10 {
+			t.Fatal("wrong hop count")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("HopCount allocated %.1f times per call, want 0", allocs)
+	}
+}
+
 func TestAllPairsMatchesManhattanOnMesh(t *testing.T) {
 	mesh := topology.MustMesh(5, 4, 2)
 	state := fullState(mesh.Graph, 8)
-	sp := AllPairs(SDR{}.Weights(state))
+	sp := AllPairs(Weights(SDR{}, state))
 	for _, from := range mesh.Nodes() {
 		for _, to := range mesh.Nodes() {
 			want := float64(from.Pos.Manhattan(to.Pos)) * 2
-			if math.Abs(sp.Dist[from.ID][to.ID]-want) > 1e-9 {
-				t.Fatalf("dist %v -> %v = %g, want %g", from.Pos, to.Pos, sp.Dist[from.ID][to.ID], want)
+			if math.Abs(sp.Dist(from.ID, to.ID)-want) > 1e-9 {
+				t.Fatalf("dist %v -> %v = %g, want %g", from.Pos, to.Pos, sp.Dist(from.ID, to.ID), want)
 			}
 		}
 	}
@@ -161,7 +202,7 @@ func TestAllPairsUnreachableAndDeadNodes(t *testing.T) {
 	c, _ := mesh.IDAt(3, 1)
 	// Killing the middle node of a line disconnects the endpoints.
 	state.Status[b] = NodeStatus{Alive: false}
-	sp := AllPairs(SDR{}.Weights(state))
+	sp := AllPairs(Weights(SDR{}, state))
 	if sp.Reachable(a, c) {
 		t.Error("endpoints should be unreachable with the middle node dead")
 	}
@@ -174,6 +215,9 @@ func TestAllPairsUnreachableAndDeadNodes(t *testing.T) {
 	if _, err := sp.Path(a, topology.NodeID(99)); err == nil {
 		t.Error("Path with out-of-range destination should fail")
 	}
+	if sp.HopCount(a, topology.NodeID(99)) != -1 {
+		t.Error("HopCount with out-of-range destination should be -1")
+	}
 }
 
 func TestAllPairsTriangleInequalityProperty(t *testing.T) {
@@ -181,15 +225,16 @@ func TestAllPairsTriangleInequalityProperty(t *testing.T) {
 	state := fullState(mesh.Graph, 8)
 	// Give nodes varied battery levels so EAR weights are heterogeneous.
 	for id := range state.Status {
-		state.Status[id] = NodeStatus{Alive: true, BatteryLevel: int(id) % 8}
+		state.Status[id] = NodeStatus{Alive: true, BatteryLevel: id % 8}
 	}
 	for _, alg := range []Algorithm{SDR{}, NewEAR()} {
-		sp := AllPairs(alg.Weights(state))
+		sp := AllPairs(Weights(alg, state))
 		k := mesh.Size()
 		for i := 0; i < k; i++ {
 			for j := 0; j < k; j++ {
 				for via := 0; via < k; via++ {
-					if sp.Dist[i][j] > sp.Dist[i][via]+sp.Dist[via][j]+1e-9 {
+					if sp.Dist(topology.NodeID(i), topology.NodeID(j)) >
+						sp.Dist(topology.NodeID(i), topology.NodeID(via))+sp.Dist(topology.NodeID(via), topology.NodeID(j))+1e-9 {
 						t.Fatalf("%s: triangle inequality violated for %d,%d via %d", alg.Name(), i, j, via)
 					}
 				}
@@ -204,7 +249,7 @@ func TestAllPairsPathDistanceConsistencyProperty(t *testing.T) {
 		h := int(heightRaw%5) + 2
 		mesh := topology.MustMesh(w, h, 1)
 		state := fullState(mesh.Graph, 8)
-		sp := AllPairs(SDR{}.Weights(state))
+		sp := AllPairs(Weights(SDR{}, state))
 		// The reconstructed path length must equal the reported distance.
 		for _, from := range mesh.Nodes() {
 			for _, to := range mesh.Nodes() {
@@ -220,7 +265,7 @@ func TestAllPairsPathDistanceConsistencyProperty(t *testing.T) {
 					}
 					total += l.LengthCM
 				}
-				if math.Abs(total-sp.Dist[from.ID][to.ID]) > 1e-9 {
+				if math.Abs(total-sp.Dist(from.ID, to.ID)) > 1e-9 {
 					return false
 				}
 			}
@@ -240,20 +285,24 @@ func TestBuildTablesPicksNearestDuplicate(t *testing.T) {
 	n3, _ := mesh.IDAt(3, 1)
 	n4, _ := mesh.IDAt(4, 1)
 	dests := map[app.ModuleID][]topology.NodeID{1: {n1, n4}}
-	sp := AllPairs(SDR{}.Weights(state))
+	sp := AllPairs(Weights(SDR{}, state))
 	tables := BuildTables(state, sp, dests, nil)
-	r, ok := tables[n2].RouteTo(1)
+	r, ok := tables.RouteTo(n2, 1)
 	if !ok || r.Dest != n1 {
 		t.Fatalf("node 2 routes module 1 to %v, want nearest duplicate %d", r, n1)
 	}
-	r, ok = tables[n3].RouteTo(1)
+	r, ok = tables.RouteTo(n3, 1)
 	if !ok || r.Dest != n4 {
 		t.Fatalf("node 3 routes module 1 to %v, want nearest duplicate %d", r, n4)
 	}
 	// A node that itself hosts the module routes to itself at distance 0.
-	r, _ = tables[n1].RouteTo(1)
+	r, _ = tables.RouteTo(n1, 1)
 	if r.Dest != n1 || r.Distance != 0 || r.NextHop != n1 {
 		t.Fatalf("self-hosting node route = %+v, want self at distance 0", r)
+	}
+	// Unknown modules report no route.
+	if _, ok := tables.RouteTo(n1, 99); ok {
+		t.Error("unknown module reported a route")
 	}
 }
 
@@ -271,13 +320,13 @@ func TestBuildTablesEARPrefersChargedDuplicate(t *testing.T) {
 	dests := map[app.ModuleID][]topology.NodeID{2: {left, right}}
 
 	sdrPlan := Compute(SDR{}, state, dests, nil)
-	rSDR, _ := sdrPlan.Tables[mid].RouteTo(2)
+	rSDR, _ := sdrPlan.Tables.RouteTo(mid, 2)
 	if rSDR.Dest != left {
 		t.Errorf("SDR picked %d, want the smaller-ID duplicate %d on a distance tie", rSDR.Dest, left)
 	}
 
 	earPlan := Compute(NewEAR(), state, dests, nil)
-	rEAR, _ := earPlan.Tables[mid].RouteTo(2)
+	rEAR, _ := earPlan.Tables.RouteTo(mid, 2)
 	if rEAR.Dest != right {
 		t.Errorf("EAR picked %d, want the well-charged duplicate %d", rEAR.Dest, right)
 	}
@@ -292,14 +341,14 @@ func TestBuildTablesSkipsDeadDuplicates(t *testing.T) {
 	state.Status[left] = NodeStatus{Alive: false}
 	dests := map[app.ModuleID][]topology.NodeID{1: {left, right}}
 	plan := Compute(SDR{}, state, dests, nil)
-	r, _ := plan.Tables[mid].RouteTo(1)
+	r, _ := plan.Tables.RouteTo(mid, 1)
 	if r.Dest != right {
 		t.Errorf("route destination = %d, want the surviving duplicate %d", r.Dest, right)
 	}
 	// With every duplicate dead the route must be invalid.
 	state.Status[right] = NodeStatus{Alive: false}
 	plan = Compute(SDR{}, state, dests, nil)
-	r, _ = plan.Tables[mid].RouteTo(1)
+	r, _ = plan.Tables.RouteTo(mid, 1)
 	if r.Valid() {
 		t.Errorf("route to a fully-dead module reported valid: %+v", r)
 	}
@@ -317,14 +366,14 @@ func TestBuildTablesDeadlockAvoidance(t *testing.T) {
 	dests := map[app.ModuleID][]topology.NodeID{1: {left, right}}
 
 	first := Compute(SDR{}, state, dests, nil)
-	r0, _ := first.Tables[mid].RouteTo(1)
+	r0, _ := first.Tables.RouteTo(mid, 1)
 	if r0.Dest != left {
 		t.Fatalf("initial route = %+v, want left duplicate", r0)
 	}
 
 	state.Status[mid] = NodeStatus{Alive: true, BatteryLevel: 7, Deadlocked: true}
 	second := Compute(SDR{}, state, dests, first.Tables)
-	r1, _ := second.Tables[mid].RouteTo(1)
+	r1, _ := second.Tables.RouteTo(mid, 1)
 	if r1.Dest != right || r1.NextHop == r0.NextHop {
 		t.Fatalf("deadlocked node not redirected: before %+v, after %+v", r0, r1)
 	}
@@ -342,7 +391,7 @@ func TestBuildTablesDeadlockFallbackWhenNoAlternative(t *testing.T) {
 	first := Compute(SDR{}, state, dests, nil)
 	state.Status[a] = NodeStatus{Alive: true, BatteryLevel: 7, Deadlocked: true}
 	second := Compute(SDR{}, state, dests, first.Tables)
-	r, _ := second.Tables[a].RouteTo(1)
+	r, _ := second.Tables.RouteTo(a, 1)
 	if !r.Valid() || r.Dest != b {
 		t.Fatalf("fallback route = %+v, want destination %d", r, b)
 	}
@@ -367,6 +416,13 @@ func TestTablesNextHopRelay(t *testing.T) {
 	if got := plan.Tables.NextHop(a, topology.NodeID(77)); got != topology.Invalid {
 		t.Errorf("NextHop to unknown destination = %d, want Invalid", got)
 	}
+	table, ok := plan.Tables.Table(a)
+	if !ok {
+		t.Fatal("alive node has no table view")
+	}
+	if got := table.NextHopTo(d); got != b {
+		t.Errorf("Table.NextHopTo(d) = %d, want %d", got, b)
+	}
 }
 
 func TestBuildTablesSkipsDeadSources(t *testing.T) {
@@ -375,11 +431,14 @@ func TestBuildTablesSkipsDeadSources(t *testing.T) {
 	dead, _ := mesh.IDAt(1, 1)
 	state.Status[dead] = NodeStatus{Alive: false}
 	plan := Compute(SDR{}, state, map[app.ModuleID][]topology.NodeID{}, nil)
-	if _, ok := plan.Tables[dead]; ok {
+	if plan.Tables.Has(dead) {
 		t.Error("dead node received a routing table")
 	}
-	if len(plan.Tables) != 3 {
-		t.Errorf("tables built for %d nodes, want 3", len(plan.Tables))
+	if _, ok := plan.Tables.Table(dead); ok {
+		t.Error("dead node has a table view")
+	}
+	if plan.Tables.Len() != 3 {
+		t.Errorf("tables built for %d nodes, want 3", plan.Tables.Len())
 	}
 }
 
@@ -405,6 +464,11 @@ func TestSystemStateEqualAndClone(t *testing.T) {
 	if a.Equal(c) {
 		t.Fatal("states with different level counts reported equal")
 	}
+	// Out-of-range lookups report dead, matching the old missing-key
+	// semantics of the map-backed snapshot.
+	if a.Alive(topology.NodeID(99)) || a.Alive(topology.Invalid) {
+		t.Fatal("out-of-range node reported alive")
+	}
 }
 
 func TestComputePlanMetadata(t *testing.T) {
@@ -422,7 +486,7 @@ func TestComputePlanMetadata(t *testing.T) {
 func BenchmarkAllPairs8x8(b *testing.B) {
 	mesh := topology.MustMesh(8, 8, 1)
 	state := fullState(mesh.Graph, 8)
-	w := SDR{}.Weights(state)
+	w := Weights(SDR{}, state)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		AllPairs(w)
@@ -438,5 +502,23 @@ func BenchmarkComputeEAR8x8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compute(NewEAR(), state, dests, nil)
+	}
+}
+
+// BenchmarkComputeIntoEAR8x8 is the steady-state controller path: the same
+// computation as BenchmarkComputeEAR8x8 but through a reused Workspace. It
+// must report 0 allocs/op.
+func BenchmarkComputeIntoEAR8x8(b *testing.B) {
+	mesh := topology.MustMesh(8, 8, 1)
+	state := fullState(mesh.Graph, 8)
+	dests := map[app.ModuleID][]topology.NodeID{
+		1: {0, 2, 4}, 2: {10, 20, 30}, 3: {40, 50, 60},
+	}
+	ws := NewWorkspace()
+	var alg Algorithm = NewEAR()
+	var prev *Tables
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev = ComputeInto(ws, alg, state, dests, prev).Tables
 	}
 }

@@ -1,0 +1,69 @@
+package routing
+
+import (
+	"repro/internal/app"
+	"repro/internal/topology"
+)
+
+// Plan is the complete output of one controller routing computation: the
+// phase-2 shortest paths and the phase-3 routing tables, tagged with the
+// algorithm that produced them.
+type Plan struct {
+	Algorithm string
+	Paths     *ShortestPaths
+	Tables    *Tables
+}
+
+// Workspace owns every buffer the three routing phases need — the phase-1
+// weight matrix, the phase-2 distance/successor storage, the dense duplicate
+// lists and two phase-3 table buffers — so that repeated ComputeInto calls
+// reuse them and steady-state recomputation performs no heap allocations.
+//
+// The two table buffers are ping-ponged: each ComputeInto writes into the
+// buffer that is not the caller's prev, so the controller can keep the
+// previous frame's tables (needed for deadlock avoidance, and by nodes still
+// forwarding on them) while the next generation is being built. Lifetimes: a
+// returned Plan and its Paths are recomputed in place by the NEXT ComputeInto
+// on the same workspace; only the Plan's Tables live on — for exactly one
+// more call, provided they are passed back as prev (a Tables not handed back
+// as prev may be overwritten immediately).
+//
+// A Workspace is not safe for concurrent use; give each goroutine its own.
+type Workspace struct {
+	w     Matrix
+	sp    ShortestPaths
+	dests destSet
+	tbl   [2]Tables
+	plan  Plan
+}
+
+// NewWorkspace returns an empty workspace. Buffers are sized lazily on the
+// first ComputeInto and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ComputeInto runs all three phases of the given algorithm on a system
+// snapshot, reusing the workspace's buffers. destinations lists the
+// duplicates of every module (S_i); prev is the previously downloaded tables
+// (nil on the first computation) consulted for deadlock avoidance. When prev
+// came from an earlier ComputeInto on the same workspace the new tables are
+// written into the other internal buffer, so prev stays intact.
+func ComputeInto(ws *Workspace, alg Algorithm, state *SystemState, destinations map[app.ModuleID][]topology.NodeID, prev *Tables) *Plan {
+	alg.WeightsInto(&ws.w, state)
+	ws.sp.ComputeFrom(&ws.w)
+	ws.dests.fill(destinations)
+	out := &ws.tbl[0]
+	if prev == out {
+		out = &ws.tbl[1]
+	}
+	buildTablesInto(out, state, &ws.sp, &ws.dests, prev)
+	ws.plan = Plan{Algorithm: alg.Name(), Paths: &ws.sp, Tables: out}
+	return &ws.plan
+}
+
+// Compute runs all three phases of the given algorithm on a system snapshot
+// using a fresh workspace, which the returned plan takes sole ownership of.
+// Controllers that recompute repeatedly should hold a Workspace and call
+// ComputeInto instead.
+func Compute(alg Algorithm, state *SystemState, destinations map[app.ModuleID][]topology.NodeID, prev *Tables) *Plan {
+	return ComputeInto(NewWorkspace(), alg, state, destinations, prev)
+}

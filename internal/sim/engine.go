@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -63,7 +62,7 @@ type jobState struct {
 
 	hasPayload bool
 	state      aes.State
-	plaintext  []byte
+	plaintext  [aes.BlockSize]byte
 }
 
 // Simulator is one instance of et_sim. Construct it with New and execute it
@@ -76,9 +75,20 @@ type Simulator struct {
 	jobs         []*jobState
 	destinations map[app.ModuleID][]topology.NodeID
 
-	pool         *tdma.Pool
-	tables       routing.Tables
+	pool *tdma.Pool
+
+	// Routing control plane: one reusable workspace owns every phase-1/2/3
+	// buffer, tables points at the workspace-internal buffer of the latest
+	// plan (and is handed back as prev on the next recompute, which writes
+	// into the other ping-pong buffer). The two snapshot buffers are
+	// alternated by buildSnapshot so comparing against lastSnapshot and
+	// building the next report never allocates.
+	ws           routing.Workspace
+	tables       *routing.Tables
+	snaps        [2]routing.SystemState
+	snapFlip     int
 	lastSnapshot *routing.SystemState
+	blocked      []bool // per-node deadlock scratch for buildSnapshot
 
 	pipeline *aes.Pipeline
 	cipher   *aes.Cipher
@@ -375,13 +385,13 @@ func (s *Simulator) injectJob() {
 	}
 	s.jobCounter++
 	if s.pipeline != nil {
+		// The plaintext block is a fixed-size array filled in place, so the
+		// state conversion cannot fail (the old aes.LoadState error path was
+		// unreachable but, when silently swallowed, would have surfaced much
+		// later as a misleading PayloadMismatch).
 		j.hasPayload = true
-		j.plaintext = make([]byte, aes.BlockSize)
 		binary.BigEndian.PutUint64(j.plaintext[8:], uint64(j.id))
-		st, err := aes.LoadState(j.plaintext)
-		if err == nil {
-			j.state = st
-		}
+		j.state = aes.State(j.plaintext)
 	}
 	s.nodes[j.at].resident++
 	s.jobs = append(s.jobs, j)
@@ -419,9 +429,9 @@ func (s *Simulator) completeJob(j *jobState) {
 	s.removeJob(j)
 	payload := PayloadNone
 	if j.hasPayload && s.cipher != nil {
-		if want, err := s.cipher.EncryptBlock(j.plaintext); err == nil {
-			got := j.state.Bytes()
-			if bytes.Equal(got[:], want) {
+		var want [aes.BlockSize]byte
+		if err := s.cipher.Encrypt(want[:], j.plaintext[:]); err == nil {
+			if j.state.Bytes() == want {
 				payload = PayloadVerified
 			} else {
 				payload = PayloadMismatch
@@ -467,7 +477,7 @@ func (s *Simulator) settle() {
 // begins moving or computing. It returns true if the job changed state.
 func (s *Simulator) resolveRoute(j *jobState) bool {
 	module := s.cfg.App.Flow[j.opIdx]
-	table, ok := s.tables[j.at]
+	table, ok := s.tables.Table(j.at)
 	if !ok {
 		return s.block(j, phaseWaitingRoute)
 	}
@@ -571,7 +581,7 @@ func (s *Simulator) startHop(j *jobState) bool {
 	if next != j.at {
 		if hop := s.tables.NextHop(j.at, j.dest); hop != topology.Invalid {
 			next = hop
-		} else if route, ok := s.tables[j.at].RouteTo(s.cfg.App.Flow[j.opIdx]); ok && route.Valid() && route.Dest == j.dest {
+		} else if route, ok := s.tables.RouteTo(j.at, s.cfg.App.Flow[j.opIdx]); ok && route.Valid() && route.Dest == j.dest {
 			next = route.NextHop
 		} else {
 			return s.block(j, phaseWaitingRoute)
@@ -664,9 +674,9 @@ func (s *Simulator) completeTimed(j *jobState) {
 		}
 	case phaseComputing:
 		if j.hasPayload && s.pipeline != nil {
-			if st, err := s.pipeline.Apply(j.state, j.opIdx); err == nil {
-				j.state = st
-			}
+			// ApplyInPlace leaves the state untouched on error, matching the
+			// old value-returning behaviour.
+			_ = s.pipeline.ApplyInPlace(&j.state, j.opIdx)
 		}
 		j.opIdx++
 		s.progress()

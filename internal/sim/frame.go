@@ -6,7 +6,6 @@ import (
 	"repro/internal/battery"
 	"repro/internal/routing"
 	"repro/internal/tdma"
-	"repro/internal/topology"
 )
 
 // processFrame executes one TDMA control frame at the current cycle: nodes
@@ -76,9 +75,12 @@ func (s *Simulator) processFrame() {
 
 	if changed || s.tables == nil {
 		prev := s.tables
-		plan := routing.Compute(s.cfg.Algorithm, snapshot, s.destinations, prev)
+		plan := routing.ComputeInto(&s.ws, s.cfg.Algorithm, snapshot, s.destinations, prev)
 		s.tables = plan.Tables
+		// The snapshot buffer just filled becomes the reference; the next
+		// frame's report goes into the other buffer.
 		s.lastSnapshot = snapshot
+		s.snapFlip ^= 1
 		frame.Recomputed = true
 		// Give blocked jobs a chance to re-resolve against the new tables.
 		for _, j := range s.jobs {
@@ -97,18 +99,29 @@ func (s *Simulator) processFrame() {
 
 // buildSnapshot collects the per-node status reported during this frame's
 // upload phase, emitting one BatterySampled event per living node when
-// external observers are attached.
+// external observers are attached. The snapshot is written into the
+// simulator-owned buffer that is not currently serving as lastSnapshot
+// (processFrame flips the two when the controller adopts a snapshot), so
+// steady-state frames allocate nothing.
 func (s *Simulator) buildSnapshot() *routing.SystemState {
-	snapshot := &routing.SystemState{
-		Graph:  s.graph,
-		Levels: s.cfg.BatteryLevels,
-		Status: make(map[topology.NodeID]routing.NodeStatus, len(s.nodes)),
+	snapshot := &s.snaps[s.snapFlip]
+	snapshot.Graph = s.graph
+	snapshot.Levels = s.cfg.BatteryLevels
+	k := len(s.nodes)
+	if cap(snapshot.Status) < k {
+		snapshot.Status = make([]routing.NodeStatus, k)
+	}
+	snapshot.Status = snapshot.Status[:k]
+	if s.blocked == nil {
+		s.blocked = make([]bool, k)
+	}
+	for i := range s.blocked {
+		s.blocked[i] = false
 	}
 	threshold := int64(s.cfg.TDMA.DeadlockThresholdFrames) * s.cfg.TDMA.FramePeriodCycles
-	blocked := make(map[topology.NodeID]bool)
 	for _, j := range s.jobs {
 		if j.blockedAt >= 0 && s.now-j.blockedAt >= threshold {
-			blocked[j.at] = true
+			s.blocked[j.at] = true
 		}
 	}
 	sampling := len(s.observers) > 0
@@ -122,7 +135,7 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 		snapshot.Status[n.id] = routing.NodeStatus{
 			Alive:        true,
 			BatteryLevel: level,
-			Deadlocked:   blocked[n.id],
+			Deadlocked:   s.blocked[n.id],
 		}
 		if sampling {
 			s.emitBatterySampled(BatteryEvent{
@@ -140,9 +153,10 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 }
 
 // stateChanged reports whether the newly reported snapshot differs from the
-// previous one in any way the routing algorithm cares about.
+// previous one in any way the routing algorithm cares about. Both snapshots
+// are dense slices over the same node set, so this is a linear compare.
 func (s *Simulator) stateChanged(snapshot *routing.SystemState) bool {
-	if s.lastSnapshot == nil {
+	if s.lastSnapshot == nil || len(s.lastSnapshot.Status) != len(snapshot.Status) {
 		return true
 	}
 	needLevels := s.cfg.Algorithm.NeedsBatteryInfo()

@@ -21,6 +21,7 @@ func (g *Graph) RemoveLink(from, to NodeID) error {
 	delete(g.links, key)
 	g.out[from] = dropLink(g.out[from], from, to)
 	g.in[to] = dropLink(g.in[to], from, to)
+	g.sorted = dropLink(g.sorted, from, to)
 	return nil
 }
 

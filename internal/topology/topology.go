@@ -69,6 +69,11 @@ type Graph struct {
 	in      map[NodeID][]Link
 	links   map[[2]NodeID]Link
 	byCoord map[Coord]NodeID
+	// sorted mirrors links ordered by (From, To). It is maintained
+	// incrementally on every mutation so Links() — called by the routing
+	// phase-1 weight build on every controller recompute — is a zero-cost,
+	// allocation-free read.
+	sorted []Link
 }
 
 // New returns an empty graph ready for AddNode / AddLink calls.
@@ -132,6 +137,15 @@ func (g *Graph) AddLink(from, to NodeID, lengthCM float64) error {
 	g.links[key] = l
 	g.out[from] = append(g.out[from], l)
 	g.in[to] = append(g.in[to], l)
+	idx := sort.Search(len(g.sorted), func(i int) bool {
+		if g.sorted[i].From != from {
+			return g.sorted[i].From > from
+		}
+		return g.sorted[i].To > to
+	})
+	g.sorted = append(g.sorted, Link{})
+	copy(g.sorted[idx+1:], g.sorted[idx:])
+	g.sorted[idx] = l
 	return nil
 }
 
@@ -162,6 +176,7 @@ func (g *Graph) Clone() *Graph {
 	for id, ls := range g.in {
 		c.in[id] = append([]Link(nil), ls...)
 	}
+	c.sorted = append([]Link(nil), g.sorted...)
 	return c
 }
 
@@ -204,19 +219,12 @@ func (g *Graph) NodeAt(pos Coord) (NodeID, bool) {
 	return id, ok
 }
 
-// Links returns every directed link, ordered by (From, To).
+// Links returns every directed link, ordered by (From, To). The returned
+// slice is shared with the graph and maintained incrementally — callers must
+// not modify it. Reading it performs no allocation, which keeps the routing
+// phase-1 weight build allocation-free.
 func (g *Graph) Links() []Link {
-	out := make([]Link, 0, len(g.links))
-	for _, l := range g.links {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
+	return g.sorted
 }
 
 // Link returns the directed link between two nodes if it exists.

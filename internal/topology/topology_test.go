@@ -305,7 +305,7 @@ func TestMeshPropertyRandomSizes(t *testing.T) {
 	}
 }
 
-func TestLinksAreSortedAndCopied(t *testing.T) {
+func TestLinksAreSortedAndShared(t *testing.T) {
 	m := MustMesh(2, 2, 1)
 	links := m.Links()
 	for i := 1; i < len(links); i++ {
@@ -314,9 +314,32 @@ func TestLinksAreSortedAndCopied(t *testing.T) {
 			t.Fatalf("links not strictly sorted at index %d: %v then %v", i, prev, cur)
 		}
 	}
-	links[0].LengthCM = 999
-	if l, _ := m.Link(links[0].From, links[0].To); l.LengthCM == 999 {
-		t.Fatal("mutating the returned slice changed graph state")
+	// Links() is a zero-alloc read of the incrementally maintained slice
+	// (callers must treat it as read-only), and the ordering invariant must
+	// survive mutation: removing and re-adding a link keeps the slice sorted
+	// and consistent with the link map.
+	if allocs := testing.AllocsPerRun(10, func() { m.Links() }); allocs != 0 {
+		t.Errorf("Links() allocated %.1f times per call, want 0", allocs)
+	}
+	victim := links[0]
+	if err := m.RemoveLink(victim.From, victim.To); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddLink(victim.From, victim.To, victim.LengthCM); err != nil {
+		t.Fatal(err)
+	}
+	links = m.Links()
+	if len(links) != m.LinkCount() {
+		t.Fatalf("Links() has %d entries, want %d", len(links), m.LinkCount())
+	}
+	for i, l := range links {
+		if i > 0 && (links[i-1].From > l.From || (links[i-1].From == l.From && links[i-1].To >= l.To)) {
+			t.Fatalf("links not strictly sorted after remove/re-add at index %d", i)
+		}
+		got, ok := m.Link(l.From, l.To)
+		if !ok || got != l {
+			t.Fatalf("sorted slice entry %v disagrees with link map (%v, %v)", l, got, ok)
+		}
 	}
 }
 
