@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/cli"
@@ -23,12 +24,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: fig2, fig7, table2, fig8, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
-		sizesFlag = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
-		ctrlFlag  = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
-		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers   = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
-		charts    = flag.Bool("charts", false, "also render ASCII charts for the figures")
+			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+		sizesFlag    = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
+		ctrlFlag     = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
+		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers      = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
+		charts       = flag.Bool("charts", false, "also render ASCII charts for the figures")
+		replications = flag.Int("replications", 30, "replicates per cell for the Monte-Carlo sweeps (fig7-mc, fig8-mc)")
+		seed         = flag.Uint64("seed", 1, "campaign base seed for the Monte-Carlo sweeps")
 	)
 	flag.Parse()
 
@@ -44,13 +47,11 @@ func main() {
 	parallelism := experiments.WithWorkers(*workers)
 
 	selected := strings.Split(*experiment, ",")
+	// The Monte-Carlo sweeps multiply every cell by -replications, so they
+	// are opt-in: named explicitly, never part of "all".
+	wantExplicit := func(name string) bool { return slices.Contains(selected, name) }
 	want := func(name string) bool {
-		for _, s := range selected {
-			if s == "all" || s == name {
-				return true
-			}
-		}
-		return false
+		return slices.Contains(selected, "all") || wantExplicit(name)
 	}
 	emit := func(t *stats.Table) {
 		if *asCSV {
@@ -93,6 +94,28 @@ func main() {
 		emit(experiments.Fig8Table(rows, controllers))
 		if *charts {
 			fmt.Println(experiments.Fig8Chart(rows, controllers).Render(60))
+		}
+		ran++
+	}
+	if wantExplicit("fig7-mc") {
+		rows, err := experiments.Fig7MC(sizes, *replications, *seed, parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig7MCTable(rows))
+		if *charts {
+			fmt.Println(experiments.Fig7MCChart(rows).Render(60))
+		}
+		ran++
+	}
+	if wantExplicit("fig8-mc") {
+		rows, err := experiments.Fig8MC(sizes, controllers, *replications, *seed, parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig8MCTable(rows))
+		if *charts {
+			fmt.Println(experiments.Fig8MCChart(rows, controllers).Render(60))
 		}
 		ran++
 	}

@@ -8,11 +8,19 @@
 //	etsim -list-scenarios
 //	etsim -scenario stress-burst
 //	etsim -scenario smartshirt-verified -trace shirt.csv
+//	etsim -scenario random-mapping-sweep -seed 7
+//	etsim -scenario degraded-fabric-mc -replications 50
 //
 // With -trace, the combined battery/throughput time-series of the run is
 // written to the given file as deterministic CSV. With -verify (or a
 // scenario that verifies payloads), any ciphertext mismatch is a hard
 // failure: etsim exits non-zero.
+//
+// The stochastic knobs of a named scenario can be re-drawn without editing
+// the registry: -seed N overrides the scenario's MappingSeed and
+// FailedLinkSeed for a single run, and -replications M (M > 1) runs a full
+// Monte-Carlo campaign over the scenario — M seed-stream replicates folded
+// into mean ± CI / quantile aggregates, exactly as cmd/etcampaign does.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"os"
 
 	"repro/internal/battery"
+	"repro/internal/campaign"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -43,8 +52,17 @@ func main() {
 		verify        = flag.Bool("verify", false, "carry a real AES payload and verify every completed job (mismatches exit non-zero)")
 		maxCycles     = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
 		perNode       = flag.Bool("v", false, "print per-node statistics")
+		seed          = flag.Uint64("seed", 1, "with -scenario: override the scenario's MappingSeed/FailedLinkSeed (single run) or seed the campaign stream (-replications > 1)")
+		replications  = flag.Int("replications", 1, "with -scenario: run this many seed-stream replicates as a Monte-Carlo campaign and print aggregate statistics")
 	)
 	flag.Parse()
+
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	if *listScenarios {
 		fmt.Print(scenario.Table().Render())
@@ -76,6 +94,35 @@ func main() {
 		if *maxCycles > 0 {
 			spec.MaxCycles = *maxCycles
 		}
+		if seedSet {
+			// Re-draw the scenario's stochastic knobs without editing the
+			// registry: one ad-hoc draw for a single run, the campaign base
+			// seed when replicating.
+			spec.MappingSeed = *seed
+			spec.FailedLinkSeed = *seed
+		}
+		if *replications > 1 {
+			// A campaign aggregates across replicates; the per-run outputs
+			// (frame traces, per-node tables) have no aggregate form here.
+			if *traceFile != "" || *perNode {
+				fatal(fmt.Errorf("-replications %d aggregates across runs; drop -trace/-v", *replications))
+			}
+			res, err := campaign.Run(campaign.Spec{
+				Scenario:     spec,
+				Replications: *replications,
+				Seed:         *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(res.Table().Render())
+			// A mismatch in any replicate is as hard a failure as in a
+			// single run.
+			if err := res.MismatchError(); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		strategy, err := spec.Strategy()
 		if err != nil {
 			fatal(err)
@@ -85,6 +132,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
+		// The seed-stream knobs only exist on declarative scenarios; the ad
+		// hoc flags describe a deterministic configuration.
+		if seedSet || *replications > 1 {
+			fatal(fmt.Errorf("-seed and -replications require -scenario; register a scenario (or use cmd/etcampaign) to replicate it"))
+		}
 		var err error
 		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
 			*controllers, *ctrlBattery, *concurrent, *maxCycles, *verify, *perNode)

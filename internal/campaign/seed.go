@@ -1,0 +1,52 @@
+package campaign
+
+// The seed stream: a SplitMix64-style generator addressed by output index
+// instead of advanced by successive calls. Replicate i of a campaign needs
+// its stochastic knobs (random-mapping draw, link-fault pattern) seeded
+// independently of every other replicate and independently of which worker
+// happens to simulate it, so the stream is a pure function of
+// (base seed, replicate index, channel): no state advances, no ordering
+// requirement, and any replicate's seeds can be recomputed in isolation
+// (which is how a single interesting draw is re-run under `etsim -seed`).
+
+// golden is the SplitMix64 state increment (2^64 / φ, odd).
+const golden = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output function: a bijective finalizer that turns
+// the weakly distributed state counter into a well-mixed 64-bit value.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Stream derives per-replicate seeds from one base seed. The zero value is a
+// valid stream (base seed 0).
+type Stream struct {
+	// Base is the campaign-level seed; two campaigns with different bases
+	// draw unrelated replicate sequences.
+	Base uint64
+}
+
+// Seeds are the derived sub-seeds of one replicate, one per stochastic knob
+// of a scenario.
+type Seeds struct {
+	// Mapping seeds the random module-to-node placement
+	// (scenario.Spec.MappingSeed).
+	Mapping uint64
+	// Faults seeds the link-fault pattern (scenario.Spec.FailedLinkSeed).
+	Faults uint64
+}
+
+// At returns replicate i's seeds: outputs 2i and 2i+1 of the SplitMix64
+// sequence seeded at Base. The result depends only on (Base, i).
+func (s Stream) At(i int) Seeds {
+	k := uint64(i) * 2
+	return Seeds{
+		Mapping: mix64(s.Base + (k+1)*golden),
+		Faults:  mix64(s.Base + (k+2)*golden),
+	}
+}

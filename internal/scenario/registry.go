@@ -178,6 +178,42 @@ func init() {
 			Mapping:     MappingRandom,
 			MappingSeed: 1,
 		},
+		// Replication-oriented scenarios: their specs differ only by the
+		// seed-derived fields (MappingSeed, FailedLinkSeed), which a
+		// Monte-Carlo campaign re-draws per replicate from its seed stream.
+		// Run singly they are one draw; under `etcampaign` they are a
+		// distribution with error bars.
+		{
+			Name:        "random-mapping-sweep",
+			Description: "Monte-Carlo cell: EAR on a 6x6 mesh with random module placement, re-drawn per replicate",
+			Mesh:        6,
+			Mapping:     MappingRandom,
+			MappingSeed: 1,
+		},
+		{
+			Name:        "random-mapping-sweep-sdr",
+			Description: "Monte-Carlo cell: the same random-placement 6x6 mesh under SDR, for replicated EAR/SDR gaps",
+			Mesh:        6,
+			Algorithm:   AlgorithmSDR,
+			Mapping:     MappingRandom,
+			MappingSeed: 1,
+		},
+		{
+			Name:               "degraded-fabric-mc",
+			Description:        "Monte-Carlo cell: 5x5 mesh with 15% failed links, the fault pattern re-drawn per replicate",
+			Mesh:               5,
+			FailedLinkFraction: 0.15,
+			FailedLinkSeed:     1,
+		},
+		{
+			Name:               "degraded-random-mc",
+			Description:        "Monte-Carlo cell: random placement on a damaged 5x5 fabric, both draws re-seeded per replicate",
+			Mesh:               5,
+			Mapping:            MappingRandom,
+			MappingSeed:        1,
+			FailedLinkFraction: 0.1,
+			FailedLinkSeed:     1,
+		},
 	}
 	for _, sp := range builtins {
 		MustRegister(sp)

@@ -33,9 +33,23 @@ func TestRegistryHasThePaperAndStressScenarios(t *testing.T) {
 	for _, want := range []string{
 		"paper-default", "paper-sdr", "table2-ideal", "smartshirt-verified",
 		"stress-burst", "degraded-fabric", "dual-controller-finite",
+		"random-mapping-sweep", "random-mapping-sweep-sdr",
+		"degraded-fabric-mc", "degraded-random-mc",
 	} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("scenario %q missing from the registry", want)
+		}
+	}
+	// The replication-oriented scenarios exist to be re-drawn by campaign
+	// seed streams: each must carry at least one seed-derived stochastic
+	// knob (a random mapping or an injected fault pattern).
+	for _, name := range []string{
+		"random-mapping-sweep", "random-mapping-sweep-sdr",
+		"degraded-fabric-mc", "degraded-random-mc",
+	} {
+		sp, _ := Lookup(name)
+		if sp.Mapping != MappingRandom && sp.FailedLinkFraction == 0 {
+			t.Errorf("scenario %q has no seed-derived field to replicate over", name)
 		}
 	}
 	if len(All()) != len(names) {

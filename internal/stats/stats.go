@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-oriented results table.
@@ -64,12 +65,12 @@ func (t *Table) Render() string {
 	}
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -94,11 +95,13 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// pad right-pads s with spaces to the given display width (runes, not bytes,
+// so multi-byte cells like "62.1 ±1.9" align).
 func pad(s string, width int) string {
-	if len(s) >= width {
-		return s
+	if n := utf8.RuneCountInString(s); n < width {
+		return s + strings.Repeat(" ", width-n)
 	}
-	return s + strings.Repeat(" ", width-len(s))
+	return s
 }
 
 // CSV returns the table as comma-separated values (RFC-4180 style quoting for
@@ -158,14 +161,22 @@ type Series struct {
 	Points []Point
 }
 
-// Point is one sample of a series.
+// Point is one sample of a series. Err is an optional symmetric error-bar
+// half-width (0 = no error bar): a Monte-Carlo campaign sets it to the 95%
+// confidence half-width on the replicated mean.
 type Point struct {
-	X float64
-	Y float64
+	X   float64
+	Y   float64
+	Err float64
 }
 
 // Add appends a point to the series.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// AddErr appends a point carrying a symmetric error bar of half-width err.
+func (s *Series) AddErr(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: err})
+}
 
 // Ys returns the series' y values in order.
 func (s *Series) Ys() []float64 {
@@ -238,8 +249,10 @@ func (c *Chart) Render(width int) string {
 	}
 	max := 0.0
 	for _, s := range c.Series {
-		if m := s.MaxY(); m > max {
-			max = m
+		for _, p := range s.Points {
+			if v := p.Y + p.Err; v > max {
+				max = v
+			}
 		}
 	}
 	if max <= 0 {
@@ -247,8 +260,8 @@ func (c *Chart) Render(width int) string {
 	}
 	nameWidth := 0
 	for _, s := range c.Series {
-		if len(s.Name) > nameWidth {
-			nameWidth = len(s.Name)
+		if n := utf8.RuneCountInString(s.Name); n > nameWidth {
+			nameWidth = n
 		}
 	}
 	// Collect the union of x values in first-seen order.
@@ -265,26 +278,45 @@ func (c *Chart) Render(width int) string {
 	for _, x := range xs {
 		fmt.Fprintf(&b, "%s = %s\n", c.XLabel, Format(x))
 		for _, s := range c.Series {
-			y, ok := s.lookup(x)
+			p, ok := s.lookupPoint(x)
 			if !ok {
 				continue
 			}
-			bars := int(y / max * float64(width))
+			bars := int(p.Y / max * float64(width))
 			if bars < 0 {
 				bars = 0
 			}
-			fmt.Fprintf(&b, "  %s  %s %s\n", pad(s.Name, nameWidth), strings.Repeat("#", bars), Format(y))
+			label := Format(p.Y)
+			whisker := ""
+			if p.Err > 0 {
+				// Error bar: dashes span the ±Err interval around the bar end,
+				// and the label carries the numeric half-width.
+				lo := int((p.Y - p.Err) / max * float64(width))
+				hi := int((p.Y + p.Err) / max * float64(width))
+				if lo < 0 {
+					lo = 0
+				}
+				if lo < bars {
+					bars = lo
+				}
+				if hi > bars {
+					whisker = strings.Repeat("-", hi-bars)
+				}
+				label = fmt.Sprintf("%s ±%s", Format(p.Y), Format(p.Err))
+			}
+			fmt.Fprintf(&b, "  %s  %s%s %s\n", pad(s.Name, nameWidth), strings.Repeat("#", bars), whisker, label)
 		}
 	}
 	fmt.Fprintf(&b, "(%s; bar length proportional to %s, full scale = %s)\n", c.XLabel, c.YLabel, Format(max))
 	return b.String()
 }
 
-func (s *Series) lookup(x float64) (float64, bool) {
+// lookupPoint returns the first point of the series at the given x.
+func (s *Series) lookupPoint(x float64) (Point, bool) {
 	for _, p := range s.Points {
 		if p.X == x {
-			return p.Y, true
+			return p, true
 		}
 	}
-	return 0, false
+	return Point{}, false
 }

@@ -98,10 +98,10 @@ func TestSeries(t *testing.T) {
 	if len(ys) != 3 || ys[0] != 60 || ys[2] != 234 {
 		t.Errorf("Ys = %v", ys)
 	}
-	if y, ok := s.lookup(5); !ok || y != 92 {
-		t.Errorf("lookup(5) = %g, %v", y, ok)
+	if p, ok := s.lookupPoint(5); !ok || p.Y != 92 {
+		t.Errorf("lookupPoint(5) = %g, %v", p.Y, ok)
 	}
-	if _, ok := s.lookup(7); ok {
+	if _, ok := s.lookupPoint(7); ok {
 		t.Error("lookup of missing x succeeded")
 	}
 }
@@ -143,5 +143,153 @@ func TestChartRenderEmpty(t *testing.T) {
 	c := NewChart("empty", "x", "y")
 	if out := c.Render(20); !strings.Contains(out, "empty") {
 		t.Errorf("empty chart render = %q", out)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := NewTable("title is not part of CSV", "col,with,commas", "plain")
+	tbl.AddRow("line\nbreak", `quote " inside`)
+	tbl.AddRow("", "trailing")
+	csv := tbl.CSV()
+	if strings.Contains(csv, "title is not part of CSV") {
+		t.Error("CSV output leaked the table title")
+	}
+	if !strings.HasPrefix(csv, `"col,with,commas",plain`) {
+		t.Errorf("comma-bearing header not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, "\"line\nbreak\"") {
+		t.Errorf("newline-bearing cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"quote "" inside"`) {
+		t.Errorf("quote not doubled: %q", csv)
+	}
+	// An empty cell stays an empty field, not a quoted empty string.
+	if !strings.Contains(csv, ",trailing") {
+		t.Errorf("empty cell mangled: %q", csv)
+	}
+}
+
+func TestTableMarkdownNoTitle(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow(1, 2)
+	md := tbl.Markdown()
+	if strings.Contains(md, "###") {
+		t.Errorf("untitled table emitted a heading: %q", md)
+	}
+	if !strings.HasPrefix(md, "| a | b |") {
+		t.Errorf("markdown table must start at the header row: %q", md)
+	}
+}
+
+func TestTableMarkdownColumnCount(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("x", "y", "z")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "|---|---|---|") {
+		t.Errorf("separator must have one segment per column: %q", md)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("v")
+	out := tbl.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("untitled render starts with a blank line: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + separator + row
+		t.Errorf("untitled render has %d lines, want 3: %q", len(lines), out)
+	}
+}
+
+func TestRenderAlignsMultibyteCells(t *testing.T) {
+	tbl := NewTable("", "jobs", "next")
+	tbl.AddRow("62.1 ±1.9", "x")
+	tbl.AddRow("600.0 ±10.0", "y")
+	lines := strings.Split(strings.TrimRight(tbl.Render(), "\n"), "\n")
+	// The second column must start at the same *rune* offset on every row:
+	// "±" is multi-byte, so byte-based padding would shift the shorter cell.
+	xCol := len([]rune(lines[2][:strings.IndexByte(lines[2], 'x')]))
+	yCol := len([]rune(lines[3][:strings.IndexByte(lines[3], 'y')]))
+	if xCol != yCol {
+		t.Errorf("second column misaligned across multi-byte cells (%d vs %d):\n%s",
+			xCol, yCol, strings.Join(lines, "\n"))
+	}
+}
+
+func TestSeriesLookupEdgeCases(t *testing.T) {
+	s := &Series{Name: "edge"}
+	if _, ok := s.lookupPoint(0); ok {
+		t.Error("lookup on empty series succeeded")
+	}
+	s.Add(1, 10)
+	s.Add(1, 20) // duplicate x: first point wins
+	if p, ok := s.lookupPoint(1); !ok || p.Y != 10 {
+		t.Errorf("duplicate-x lookupPoint = %+v, %v; want first point 10", p, ok)
+	}
+	s.AddErr(2, 30, 5)
+	if p, ok := s.lookupPoint(2); !ok || p.Err != 5 {
+		t.Errorf("lookupPoint dropped the error bar: %+v", p)
+	}
+}
+
+func TestChartRenderSinglePoint(t *testing.T) {
+	c := NewChart("single", "x", "y")
+	c.AddSeries("only").Add(3, 7)
+	out := c.Render(20)
+	for _, want := range []string{"x = 3", "only", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("single-point chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRenderSkipsEmptySeries(t *testing.T) {
+	c := NewChart("mixed", "x", "y")
+	c.AddSeries("empty")
+	c.AddSeries("full").Add(1, 5)
+	out := c.Render(20)
+	if !strings.Contains(out, "full") {
+		t.Errorf("chart lost the populated series:\n%s", out)
+	}
+	// The empty series has no point at x=1, so it must not render a bar row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "empty") && strings.Contains(line, "#") {
+			t.Errorf("empty series rendered a bar: %q", line)
+		}
+	}
+}
+
+func TestChartRenderErrorBars(t *testing.T) {
+	c := NewChart("mc", "mesh", "jobs")
+	s := c.AddSeries("EAR")
+	s.AddErr(4, 50, 10)
+	out := c.Render(40)
+	if !strings.Contains(out, "±10") {
+		t.Errorf("error bar half-width missing from label:\n%s", out)
+	}
+	// The whisker dashes span the CI beyond the shortened bar.
+	var barLine string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "EAR") {
+			barLine = l
+		}
+	}
+	if !strings.Contains(barLine, "#") || !strings.Contains(barLine, "-") {
+		t.Errorf("bar line missing whiskers: %q", barLine)
+	}
+	hashes := strings.Count(barLine, "#")
+	dashes := strings.Count(barLine, "-")
+	// Bar to (y-err)=40/60 of scale, whisker to (y+err)=60/60: the whisker is
+	// roughly half the bar length.
+	if hashes <= dashes {
+		t.Errorf("bar (%d#) should be longer than the whisker (%d-): %q", hashes, dashes, barLine)
+	}
+	// A zero-error point renders without any whisker or ± label.
+	c2 := NewChart("plain", "x", "y")
+	c2.AddSeries("S").Add(1, 5)
+	if out := c2.Render(20); strings.Contains(out, "±") {
+		t.Errorf("zero-error point rendered an error bar:\n%s", out)
 	}
 }

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSummaryZeroValue(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("zero-value summary not empty: %+v", s)
+	}
+	if s.Variance() != 0 || s.StdDev() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Error("zero-value summary reports nonzero spread")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Error("zero-value summary reports nonzero quantile")
+	}
+	if !math.IsNaN(s.Quantile(0.75)) {
+		t.Error("untracked quantile target should be NaN")
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	values := []float64{4, 7, 13, 16}
+	var s Summary
+	for _, v := range values {
+		s.Observe(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Mean = %g, want 10", got)
+	}
+	// Sample variance of {4,7,13,16} is 30.
+	if got := s.Variance(); math.Abs(got-30) > 1e-12 {
+		t.Errorf("Variance = %g, want 30", got)
+	}
+	if s.Min() != 4 || s.Max() != 16 {
+		t.Errorf("Min/Max = %g/%g, want 4/16", s.Min(), s.Max())
+	}
+	// CI95 = t(3) * sqrt(30/4) = 3.182 * 2.7386...
+	want := 3.182 * math.Sqrt(30.0/4.0)
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %g, want %g", got, want)
+	}
+	if out := s.String(); out == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestSummaryConstantStream(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Observe(42)
+	}
+	if s.Mean() != 42 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Errorf("constant stream: mean=%g var=%g ci=%g", s.Mean(), s.Variance(), s.CI95())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		if got := s.Quantile(p); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestSummaryQuantilesExactWhileSmall(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{30, 10, 50, 20, 40} {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0.5); got != 30 {
+		t.Errorf("P50 of 5 values = %g, want the exact median 30", got)
+	}
+	if got := s.Quantile(0.9); got != 50 {
+		t.Errorf("P90 of 5 values = %g, want 50", got)
+	}
+}
+
+// TestSummaryQuantilesApproximateLarge streams a deterministically shuffled
+// ramp 1..1000 and checks the P² estimates land near the exact quantiles.
+func TestSummaryQuantilesApproximateLarge(t *testing.T) {
+	const n = 1000
+	values := make([]float64, n)
+	// Fixed full-period LCG permutation of 0..n-1 (no wall-clock randomness).
+	x := 7
+	for i := range values {
+		x = (x*421 + 17) % n
+		values[i] = float64(x + 1)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if sorted[0] != 1 || sorted[n-1] != n {
+		t.Fatal("LCG did not produce a permutation")
+	}
+	var s Summary
+	for _, v := range values {
+		s.Observe(v)
+	}
+	cases := []struct {
+		p, want, tol float64
+	}{
+		{0.5, 500, 25},
+		{0.9, 900, 25},
+		{0.99, 990, 15},
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ±%g", tc.p, got, tc.want, tc.tol)
+		}
+	}
+	if s.Min() != 1 || s.Max() != n {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	// Mean of 1..1000 is 500.5.
+	if math.Abs(s.Mean()-500.5) > 1e-9 {
+		t.Errorf("Mean = %g, want 500.5", s.Mean())
+	}
+}
+
+// TestSummaryObserveDoesNotAllocate pins the streaming property the campaign
+// layer relies on: folding a value into a warm Summary is allocation-free.
+func TestSummaryObserveDoesNotAllocate(t *testing.T) {
+	var s Summary
+	for i := 0; i < 10; i++ {
+		s.Observe(float64(i))
+	}
+	i := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(i)
+		i++
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSummaryIsValueType pins that summaries copy independently, which is what
+// lets experiment rows carry them by value.
+func TestSummaryIsValueType(t *testing.T) {
+	var a Summary
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i))
+	}
+	b := a
+	b.Observe(1000)
+	if a.Count() != 10 || b.Count() != 11 {
+		t.Errorf("copied summary shares state: a.n=%d b.n=%d", a.Count(), b.Count())
+	}
+	if a.Max() == b.Max() {
+		t.Error("copied summary shares extremes")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := tCritical95(1); got != 12.706 {
+		t.Errorf("t(1) = %g", got)
+	}
+	if got := tCritical95(30); math.Abs(got-2.042) > 1e-9 {
+		t.Errorf("t(30) = %g", got)
+	}
+	// Approximation region: monotone decreasing toward the normal limit.
+	prev := tCritical95(30)
+	for _, df := range []int64{31, 40, 60, 120, 1000, 100000} {
+		got := tCritical95(df)
+		if got >= prev {
+			t.Errorf("t(%d) = %g not below t at smaller df %g", df, got, prev)
+		}
+		prev = got
+	}
+	if got := tCritical95(1000000); math.Abs(got-1.959964) > 1e-3 {
+		t.Errorf("t(1e6) = %g, want ≈1.96", got)
+	}
+	if tCritical95(0) != 0 {
+		t.Error("t(0) should be 0")
+	}
+	// The table value for df=120 (2.0 in the usual tables) as a sanity check
+	// of the approximation: 1.9799 published.
+	if got := tCritical95(120); math.Abs(got-1.9799) > 2e-3 {
+		t.Errorf("t(120) = %g, want ≈1.9799", got)
+	}
+}
