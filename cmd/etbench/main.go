@@ -24,14 +24,16 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, opt-gap, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
 		sizesFlag    = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
 		ctrlFlag     = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers      = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
 		charts       = flag.Bool("charts", false, "also render ASCII charts for the figures")
 		replications = flag.Int("replications", 30, "replicates per cell for the Monte-Carlo sweeps (fig7-mc, fig8-mc)")
-		seed         = flag.Uint64("seed", 1, "campaign base seed for the Monte-Carlo sweeps")
+		seed         = flag.Uint64("seed", 1, "base seed for the Monte-Carlo sweeps and the placement search")
+		budget       = flag.Int("budget", 60, "simulations per search restart for opt-gap")
+		restarts     = flag.Int("restarts", 4, "independent search restarts per opt-gap cell")
 	)
 	flag.Parse()
 
@@ -116,6 +118,17 @@ func main() {
 		emit(experiments.Fig8MCTable(rows))
 		if *charts {
 			fmt.Println(experiments.Fig8MCChart(rows, controllers).Render(60))
+		}
+		ran++
+	}
+	if wantExplicit("opt-gap") {
+		rows, err := experiments.OptGap(sizes, *budget, *restarts, *seed, parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.OptGapTable(rows))
+		if *charts {
+			fmt.Println(experiments.OptGapChart(rows).Render(60))
 		}
 		ran++
 	}

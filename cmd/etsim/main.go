@@ -10,6 +10,8 @@
 //	etsim -scenario smartshirt-verified -trace shirt.csv
 //	etsim -scenario random-mapping-sweep -seed 7
 //	etsim -scenario degraded-fabric-mc -replications 50
+//	etsim -scenario paper-default -mapping explicit:1,2,3,1,3,1,3,2,3,1,3,3,2,3,2,1
+//	etsim -scenario optimized-4x4 -mapping checkerboard
 //
 // With -trace, the combined battery/throughput time-series of the run is
 // written to the given file as deterministic CSV. With -verify (or a
@@ -21,12 +23,17 @@
 // FailedLinkSeed for a single run, and -replications M (M > 1) runs a full
 // Monte-Carlo campaign over the scenario — M seed-stream replicates folded
 // into mean ± CI / quantile aggregates, exactly as cmd/etcampaign does.
+// -mapping overrides the scenario's module placement by strategy name, or
+// replays an exact placement with explicit:<assignment> (the form cmd/etopt
+// prints for its optimized placements).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"repro/internal/battery"
 	"repro/internal/campaign"
@@ -52,6 +59,7 @@ func main() {
 		verify        = flag.Bool("verify", false, "carry a real AES payload and verify every completed job (mismatches exit non-zero)")
 		maxCycles     = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
 		perNode       = flag.Bool("v", false, "print per-node statistics")
+		mappingName   = flag.String("mapping", "", "with -scenario: override the scenario's module mapping (checkerboard, proportional, row-major, random or explicit:<assignment>)")
 		seed          = flag.Uint64("seed", 1, "with -scenario: override the scenario's MappingSeed/FailedLinkSeed (single run) or seed the campaign stream (-replications > 1)")
 		replications  = flag.Int("replications", 1, "with -scenario: run this many seed-stream replicates as a Monte-Carlo campaign and print aggregate statistics")
 	)
@@ -94,6 +102,11 @@ func main() {
 		if *maxCycles > 0 {
 			spec.MaxCycles = *maxCycles
 		}
+		if *mappingName != "" {
+			if err := applyMappingOverride(&spec, *mappingName); err != nil {
+				fatal(err)
+			}
+		}
 		if seedSet {
 			// Re-draw the scenario's stochastic knobs without editing the
 			// registry: one ad-hoc draw for a single run, the campaign base
@@ -134,8 +147,8 @@ func main() {
 	} else {
 		// The seed-stream knobs only exist on declarative scenarios; the ad
 		// hoc flags describe a deterministic configuration.
-		if seedSet || *replications > 1 {
-			fatal(fmt.Errorf("-seed and -replications require -scenario; register a scenario (or use cmd/etcampaign) to replicate it"))
+		if seedSet || *replications > 1 || *mappingName != "" {
+			fatal(fmt.Errorf("-seed, -replications and -mapping require -scenario; register a scenario (or use cmd/etcampaign) to replicate it"))
 		}
 		var err error
 		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
@@ -198,6 +211,40 @@ func main() {
 		fatal(fmt.Errorf("%d of %d verified payloads mismatched the reference cipher",
 			res.PayloadMismatches, res.PayloadJobsVerified+res.PayloadMismatches))
 	}
+}
+
+// applyMappingOverride rewrites the spec's mapping fields from a -mapping
+// value: one of the registered strategy names, or explicit:<assignment> with
+// the assignment in mapping.Explicit's comma-separated form (the form etopt
+// prints). A typo lists the valid names instead of running something other
+// than what the user asked for.
+func applyMappingOverride(spec *scenario.Spec, value string) error {
+	if assignment, ok := strings.CutPrefix(value, "explicit:"); ok {
+		spec.Mapping = scenario.MappingExplicit
+		spec.Assignment = assignment
+		return nil
+	}
+	// The named strategies are the registry's mapping names minus explicit,
+	// which is only reachable through the explicit:<assignment> form above.
+	var named []string
+	for _, name := range scenario.MappingNames() {
+		if name != scenario.MappingExplicit {
+			named = append(named, name)
+		}
+	}
+	canonical := value
+	if value == "rowmajor" {
+		canonical = scenario.MappingRowMajor
+	}
+	if !slices.Contains(named, canonical) {
+		return fmt.Errorf("unknown mapping %q (want %s, or explicit:<assignment> as printed by etopt)",
+			value, strings.Join(named, ", "))
+	}
+	spec.Mapping = canonical
+	// A named strategy replaces whatever explicit assignment the scenario
+	// carried.
+	spec.Assignment = ""
+	return nil
 }
 
 // conflictingFlags returns the names of the explicitly set flags that

@@ -33,6 +33,42 @@ func TestSeedStreamIndexAddressable(t *testing.T) {
 	}
 }
 
+func TestSeedStreamWordsAndChildren(t *testing.T) {
+	s := Stream{Base: 42}
+	// At is defined in terms of Word: replicate i's seeds are words 2i, 2i+1.
+	for i := 0; i < 16; i++ {
+		seeds := s.At(i)
+		if seeds.Mapping != s.Word(uint64(2*i)) || seeds.Faults != s.Word(uint64(2*i+1)) {
+			t.Fatalf("At(%d) disagrees with Word addressing", i)
+		}
+	}
+	// Child streams are index-addressed and collision-free across children,
+	// word indices and the parent's own sequence. In particular the diagonal
+	// Sub(i).Word(k) vs Sub(i+1).Word(k-1) must not alias, which a naive
+	// additive child base would.
+	seen := map[uint64]string{}
+	record := func(v uint64, label string) {
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("seed stream collided: %s == %s", label, prev)
+		}
+		seen[v] = label
+	}
+	for k := uint64(0); k < 100; k++ {
+		record(s.Word(k), "parent")
+	}
+	for i := uint64(0); i < 20; i++ {
+		child := s.Sub(i)
+		for k := uint64(0); k < 100; k++ {
+			record(child.Word(k), "child")
+		}
+	}
+	// Purity: the same (base, child, word) address always draws the same
+	// value.
+	if s.Sub(3).Word(7) != s.Sub(3).Word(7) {
+		t.Error("child stream draw is not a pure function of its address")
+	}
+}
+
 func TestReplicateDerivesSeedsOnly(t *testing.T) {
 	base := scenario.Spec{
 		Name:    "mc-test",

@@ -46,7 +46,30 @@ type Seeds struct {
 func (s Stream) At(i int) Seeds {
 	k := uint64(i) * 2
 	return Seeds{
-		Mapping: mix64(s.Base + (k+1)*golden),
-		Faults:  mix64(s.Base + (k+2)*golden),
+		Mapping: s.Word(k),
+		Faults:  s.Word(k + 1),
 	}
+}
+
+// Word returns the i-th raw 64-bit draw of the stream: a pure function of
+// (Base, i) with no generator state, so draw k can be recomputed in isolation
+// by any consumer. The replicate seeds of At are words 2i and 2i+1; other
+// subsystems (the placement optimizer's move streams) address the same
+// sequence directly.
+func (s Stream) Word(i uint64) uint64 {
+	return mix64(s.Base + (i+1)*golden)
+}
+
+// Sub derives an independent child stream: child i's draws are unrelated to
+// the parent's and to every other child's, yet remain a pure function of
+// (Base, i). This is how hierarchical consumers — restart r of an
+// optimization run, say — get their own index-addressed randomness without
+// coordinating: move k of restart r is Sub(r).Word(k), a function of the one
+// base seed.
+func (s Stream) Sub(i uint64) Stream {
+	// The child base is a fully mixed function of (Base, i): running the
+	// counter through mix64 before it becomes a base keeps child i's word
+	// sequence from ever aliasing child j's (a plain additive offset would
+	// make Sub(i).Word(k) collide with Sub(i+1).Word(k-1)).
+	return Stream{Base: mix64(mix64(s.Base^0xA5A5A5A5A5A5A5A5) + (i+1)*golden)}
 }

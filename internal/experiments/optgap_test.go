@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestOptGapSmallSweep(t *testing.T) {
+	rows, err := OptGap([]int{4}, 6, 2, 1, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (EAR and SDR)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Bound <= 0 {
+			t.Errorf("%s: non-positive bound %g", r.Algorithm, r.Bound)
+		}
+		// Restart 0 of the search starts from the checkerboard, so the
+		// optimized column can never fall below it.
+		if r.OptimizedJobs < r.CheckerboardJobs {
+			t.Errorf("%s: optimized %d jobs worse than checkerboard %d", r.Algorithm, r.OptimizedJobs, r.CheckerboardJobs)
+		}
+		// No simulated placement may beat the Theorem-1 bound.
+		for _, jobs := range []int{r.CheckerboardJobs, r.RandomBestJobs, r.OptimizedJobs} {
+			if float64(jobs) > r.Bound {
+				t.Errorf("%s: %d jobs exceed the bound %g", r.Algorithm, jobs, r.Bound)
+			}
+		}
+		if r.OptimizedAssignment == "" {
+			t.Errorf("%s: no winning assignment reported", r.Algorithm)
+		}
+		// The reported placement replays to the reported job count.
+		replay := scenario.Spec{Mesh: r.Mesh, Mapping: scenario.MappingExplicit, Assignment: r.OptimizedAssignment}
+		if r.Algorithm != scenario.AlgorithmEAR {
+			replay.Algorithm = r.Algorithm
+		}
+		res, err := replay.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.JobsCompleted != r.OptimizedJobs {
+			t.Errorf("%s: replayed placement completes %d jobs, row reports %d", r.Algorithm, res.JobsCompleted, r.OptimizedJobs)
+		}
+	}
+	table := OptGapTable(rows).Render()
+	if !strings.Contains(table, "EAR") || !strings.Contains(table, "SDR") {
+		t.Errorf("table missing algorithm rows:\n%s", table)
+	}
+	chart := OptGapChart(rows).Render(40)
+	if !strings.Contains(chart, "J*") {
+		t.Errorf("chart missing the bound series:\n%s", chart)
+	}
+}
+
+func TestOptGapDeterministicAcrossWorkers(t *testing.T) {
+	var ref string
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		rows, err := OptGap([]int{4}, 4, 2, 7, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := OptGapTable(rows).Render()
+		if ref == "" {
+			ref = rendered
+			continue
+		}
+		if rendered != ref {
+			t.Errorf("opt-gap table differs at %d workers", w)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/app"
 	"repro/internal/topology"
@@ -304,6 +306,79 @@ func (RowMajor) Map(g *topology.Graph, a *app.Application) (*Mapping, error) {
 	}
 	m := New(assign)
 	if err := m.Validate(a, k); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Explicit is a dense, assignment-backed strategy: Assign[n] names the module
+// of node n (Unassigned for relay-only nodes). It is how a concrete placement
+// — typically one discovered by the internal/optimize search — is expressed
+// as data, saved in a scenario.Spec and replayed exactly. The String/
+// ParseExplicit pair round-trips the assignment through the comma-separated
+// text form used by `scenario.Spec.Assignment` and `etsim
+// -mapping explicit:<assignment>`.
+type Explicit struct {
+	// Assign holds one module per node, indexed by NodeID.
+	Assign []app.ModuleID
+}
+
+// Name implements Strategy.
+func (Explicit) Name() string { return "explicit" }
+
+// String renders the assignment in the canonical text form: the module of
+// every node in NodeID order, comma-separated ("3,1,2,..."). ParseExplicit
+// inverts it exactly.
+func (e Explicit) String() string {
+	var b []byte
+	for i, m := range e.Assign {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(m), 10)
+	}
+	return string(b)
+}
+
+// ParseExplicit parses the canonical comma-separated assignment form produced
+// by Explicit.String (and by `etopt -emit-spec`).
+func ParseExplicit(s string) (Explicit, error) {
+	if s == "" {
+		return Explicit{}, fmt.Errorf("mapping: empty explicit assignment")
+	}
+	fields := strings.Split(s, ",")
+	e := Explicit{Assign: make([]app.ModuleID, len(fields))}
+	for i, field := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || v < 0 {
+			return Explicit{}, fmt.Errorf("mapping: explicit assignment entry %q at node %d is not a module number", field, i)
+		}
+		e.Assign[i] = app.ModuleID(v)
+	}
+	return e, nil
+}
+
+// Map implements Strategy: the assignment must cover exactly the graph's
+// nodes, reference only the application's modules, and place every module at
+// least once (enforced by Mapping.Validate).
+func (e Explicit) Map(g *topology.Graph, a *app.Application) (*Mapping, error) {
+	if len(e.Assign) != g.NodeCount() {
+		return nil, fmt.Errorf("mapping: explicit assignment covers %d nodes, graph has %d",
+			len(e.Assign), g.NodeCount())
+	}
+	assign := make(map[topology.NodeID]app.ModuleID, len(e.Assign))
+	for n, mod := range e.Assign {
+		if mod == Unassigned {
+			continue
+		}
+		if int(mod) < 1 || int(mod) > a.NumModules() {
+			return nil, fmt.Errorf("mapping: node %d assigned to unknown module %d (application has %d)",
+				n, mod, a.NumModules())
+		}
+		assign[topology.NodeID(n)] = mod
+	}
+	m := New(assign)
+	if err := m.Validate(a, g.NodeCount()); err != nil {
 		return nil, err
 	}
 	return m, nil

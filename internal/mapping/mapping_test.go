@@ -327,3 +327,87 @@ func TestAllStrategiesSatisfyBudgetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExplicitRoundTrip(t *testing.T) {
+	mesh := topology.MustMesh(4, 4, 1)
+	appl := app.AES128()
+	// Derive a reference assignment from the checkerboard mapping, express it
+	// as an Explicit strategy, and check the text form round-trips exactly.
+	ref, err := Checkerboard{}.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Explicit{Assign: make([]app.ModuleID, mesh.NodeCount())}
+	for _, n := range mesh.Nodes() {
+		e.Assign[n.ID] = ref.ModuleAt(n.ID)
+	}
+	parsed, err := ParseExplicit(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Assign) != len(e.Assign) {
+		t.Fatalf("round trip length = %d, want %d", len(parsed.Assign), len(e.Assign))
+	}
+	for i := range e.Assign {
+		if parsed.Assign[i] != e.Assign[i] {
+			t.Fatalf("round trip changed node %d: %d != %d", i, parsed.Assign[i], e.Assign[i])
+		}
+	}
+	// The materialised mapping is identical to the reference.
+	m, err := parsed.Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range mesh.Nodes() {
+		if m.ModuleAt(n.ID) != ref.ModuleAt(n.ID) {
+			t.Fatalf("node %d: explicit mapping %d != checkerboard %d", n.ID, m.ModuleAt(n.ID), ref.ModuleAt(n.ID))
+		}
+	}
+	if (Explicit{}).Name() != "explicit" {
+		t.Error("Explicit name wrong")
+	}
+}
+
+func TestExplicitValidation(t *testing.T) {
+	mesh := topology.MustMesh(2, 2, 1)
+	appl := app.AES128() // 3 modules
+	cases := []struct {
+		name   string
+		assign []app.ModuleID
+	}{
+		{"too short", []app.ModuleID{1, 2, 3}},
+		{"too long", []app.ModuleID{1, 2, 3, 1, 2}},
+		{"unknown module", []app.ModuleID{1, 2, 3, 9}},
+		{"missing module", []app.ModuleID{1, 1, 2, 2}},
+	}
+	for _, c := range cases {
+		if _, err := (Explicit{Assign: c.assign}).Map(mesh.Graph, appl); err == nil {
+			t.Errorf("%s: Map accepted invalid assignment %v", c.name, c.assign)
+		}
+	}
+	// Unassigned (0) nodes are allowed as long as every module is placed.
+	ok := []app.ModuleID{0, 1, 2, 3}
+	m, err := (Explicit{Assign: ok}).Map(mesh.Graph, appl)
+	if err != nil {
+		t.Fatalf("Map rejected valid assignment with a relay-only node: %v", err)
+	}
+	if m.AssignedNodes() != 3 {
+		t.Errorf("AssignedNodes = %d, want 3", m.AssignedNodes())
+	}
+}
+
+func TestParseExplicitErrors(t *testing.T) {
+	for _, s := range []string{"", "1,,2", "1,x,2", "1,-2,3", "1, 2,"} {
+		if _, err := ParseExplicit(s); err == nil {
+			t.Errorf("ParseExplicit(%q) accepted a malformed assignment", s)
+		}
+	}
+	// Whitespace around entries is tolerated.
+	e, err := ParseExplicit(" 1, 2 ,3 ")
+	if err != nil {
+		t.Fatalf("ParseExplicit with spaces: %v", err)
+	}
+	if len(e.Assign) != 3 || e.Assign[0] != 1 || e.Assign[1] != 2 || e.Assign[2] != 3 {
+		t.Errorf("ParseExplicit with spaces = %v", e.Assign)
+	}
+}

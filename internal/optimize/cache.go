@@ -1,0 +1,38 @@
+package optimize
+
+// evalCache memoizes objective evaluations keyed by the canonical candidate
+// encoding, so a placement the search revisits costs zero evaluations (and
+// therefore zero simulations under the sim/campaign objectives). One cache
+// serves one restart: values are pure functions of the candidate either way,
+// but per-restart caches keep the hit/miss counters — which the reports
+// print — independent of how restarts are scheduled across workers. Lookups
+// are allocation-free (the key scratch is reused and the map is indexed with
+// an unallocated string conversion); only first-time insertions allocate.
+type evalCache struct {
+	obj    Objective
+	m      map[string]float64
+	key    []byte
+	hits   int
+	misses int
+}
+
+func newEvalCache(obj Objective) *evalCache {
+	return &evalCache{obj: obj, m: make(map[string]float64)}
+}
+
+// evaluate returns the candidate's score, memoizing it, and reports whether
+// the value came from the cache.
+func (c *evalCache) evaluate(cand *Candidate) (float64, bool, error) {
+	c.key = cand.AppendKey(c.key[:0])
+	if v, ok := c.m[string(c.key)]; ok {
+		c.hits++
+		return v, true, nil
+	}
+	v, err := c.obj.Evaluate(cand)
+	if err != nil {
+		return 0, false, err
+	}
+	c.misses++
+	c.m[string(c.key)] = v
+	return v, false, nil
+}

@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/mapping"
@@ -51,7 +52,18 @@ const (
 	// MappingRandom assigns modules pseudo-randomly, seeded by
 	// Spec.MappingSeed.
 	MappingRandom = "random"
+	// MappingExplicit replays the exact placement carried in
+	// Spec.Assignment (the canonical comma-separated form of
+	// mapping.Explicit) — typically a placement discovered by the
+	// internal/optimize search and emitted by `etopt -emit-spec`.
+	MappingExplicit = "explicit"
 )
+
+// MappingNames lists the accepted Spec.Mapping values, for CLI error
+// messages.
+func MappingNames() []string {
+	return []string{MappingCheckerboard, MappingProportional, MappingRowMajor, MappingRandom, MappingExplicit}
+}
 
 // PaperKey is the AES-128 key used whenever a scenario requests payload
 // verification (the FIPS-197 Appendix B key, also used by the smartshirt
@@ -93,6 +105,11 @@ type Spec struct {
 	Mapping string
 	// MappingSeed seeds MappingRandom.
 	MappingSeed uint64
+	// Assignment is the explicit module placement replayed by
+	// MappingExplicit: the module of every node in NodeID order,
+	// comma-separated (mapping.Explicit's canonical text form). Ignored by
+	// the other mapping strategies.
+	Assignment string
 	// Controllers is the number of central controllers (0 = 1).
 	Controllers int
 	// FiniteControllers attaches thin-film batteries to the controllers
@@ -211,9 +228,21 @@ func (sp Spec) Strategy(extra ...core.Option) (*core.Strategy, error) {
 		s.Mapper = mapping.RowMajor{}
 	case MappingRandom:
 		s.Mapper = mapping.Random{Seed: sp.MappingSeed}
+	case MappingExplicit:
+		ex, err := mapping.ParseExplicit(sp.Assignment)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+		}
+		// Validate the assignment against the platform eagerly so a bad
+		// placement fails here, like every other spec error, instead of at
+		// materialisation time inside a worker.
+		if _, err := ex.Map(s.Mesh.Graph, s.App); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+		}
+		s.Mapper = ex
 	default:
-		return nil, fmt.Errorf("scenario %s: unknown mapping %q (want %s, %s, %s or %s)",
-			sp.Label(), sp.Mapping, MappingCheckerboard, MappingProportional, MappingRowMajor, MappingRandom)
+		return nil, fmt.Errorf("scenario %s: unknown mapping %q (want one of: %s)",
+			sp.Label(), sp.Mapping, strings.Join(MappingNames(), ", "))
 	}
 	return s, nil
 }

@@ -211,3 +211,59 @@ func TestLabels(t *testing.T) {
 		t.Errorf("named label = %q", got)
 	}
 }
+
+func TestSpecExplicitMapping(t *testing.T) {
+	// An explicit assignment replaying the 4x4 checkerboard must simulate
+	// identically to the checkerboard default.
+	checker := "1,3,1,3,3,2,3,2,1,3,1,3,3,2,3,2"
+	base, err := Spec{Mesh: 4}.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Spec{Mesh: 4, Mapping: MappingExplicit, Assignment: checker}.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(base, explicit) {
+		t.Errorf("explicit checkerboard result differs from the built-in checkerboard:\n%+v\n%+v", base, explicit)
+	}
+	// Bad assignments fail to materialise with a descriptive error.
+	for _, bad := range []Spec{
+		{Mesh: 4, Mapping: MappingExplicit},                             // empty assignment
+		{Mesh: 4, Mapping: MappingExplicit, Assignment: "1,2,3"},        // wrong length
+		{Mesh: 4, Mapping: MappingExplicit, Assignment: checker + ",1"}, // wrong length
+	} {
+		if _, err := bad.Strategy(); err == nil {
+			t.Errorf("Strategy accepted invalid explicit spec %+v", bad)
+		}
+	}
+}
+
+func TestOptimizedScenariosRegistered(t *testing.T) {
+	for _, name := range []string{"optimized-4x4", "optimized-4x4-sdr"} {
+		sp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		if sp.Mapping != MappingExplicit || sp.Assignment == "" {
+			t.Fatalf("%s is not an explicit placement: %+v", name, sp)
+		}
+		if _, err := sp.Strategy(); err != nil {
+			t.Errorf("%s does not materialise: %v", name, err)
+		}
+	}
+	// The optimized EAR placement must not fall behind the checkerboard
+	// baseline it was searched from.
+	opt, _ := Lookup("optimized-4x4")
+	optRes, err := opt.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Spec{Mesh: 4}.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.JobsCompleted < base.JobsCompleted {
+		t.Errorf("optimized-4x4 completes %d jobs, checkerboard %d", optRes.JobsCompleted, base.JobsCompleted)
+	}
+}

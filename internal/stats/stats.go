@@ -311,6 +311,49 @@ func (c *Chart) Render(width int) string {
 	return b.String()
 }
 
+// sparkLevels are the eight block glyphs of a sparkline, lowest first.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a one-line unicode block sparkline of at most
+// width cells, scaled between the series' minimum and maximum. When the
+// series is longer than the width, each cell shows the maximum of its bucket
+// (the right choice for the monotone best-so-far curves it renders in
+// etopt); shorter series use one cell per sample. A flat or empty series
+// renders as all-bottom blocks.
+func Sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	if width < 1 || width > len(ys) {
+		width = len(ys)
+	}
+	min, max := ys[0], ys[0]
+	for _, y := range ys {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	out := make([]rune, width)
+	for i := range out {
+		lo, hi := i*len(ys)/width, (i+1)*len(ys)/width
+		cell := ys[lo]
+		for _, y := range ys[lo:hi] {
+			if y > cell {
+				cell = y
+			}
+		}
+		level := 0
+		if max > min {
+			level = int((cell - min) / (max - min) * float64(len(sparkLevels)-1))
+		}
+		out[i] = sparkLevels[level]
+	}
+	return string(out)
+}
+
 // lookupPoint returns the first point of the series at the given x.
 func (s *Series) lookupPoint(x float64) (Point, bool) {
 	for _, p := range s.Points {

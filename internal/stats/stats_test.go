@@ -3,6 +3,7 @@ package stats
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestFormat(t *testing.T) {
@@ -291,5 +292,34 @@ func TestChartRenderErrorBars(t *testing.T) {
 	c2.AddSeries("S").Add(1, 5)
 	if out := c2.Render(20); strings.Contains(out, "±") {
 		t.Errorf("zero-error point rendered an error bar:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	// A monotone ramp uses the full glyph range, lowest first.
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", ramp)
+	}
+	// A flat series renders as all-bottom blocks.
+	if got := Sparkline([]float64{3, 3, 3}, 3); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	// Downsampling keeps the bucket maxima, so the peak survives.
+	wide := make([]float64, 100)
+	wide[57] = 9
+	got := Sparkline(wide, 10)
+	if utf8.RuneCountInString(got) != 10 {
+		t.Fatalf("downsampled width = %d runes (%q)", utf8.RuneCountInString(got), got)
+	}
+	if !strings.Contains(got, "█") {
+		t.Errorf("downsampling lost the peak: %q", got)
+	}
+	// Width wider than the series falls back to one cell per sample.
+	if got := Sparkline([]float64{1, 2}, 50); utf8.RuneCountInString(got) != 2 {
+		t.Errorf("short series width = %q", got)
 	}
 }
