@@ -24,16 +24,19 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, opt-gap, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
-		sizesFlag    = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
-		ctrlFlag     = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
-		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers      = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
-		charts       = flag.Bool("charts", false, "also render ASCII charts for the figures")
-		replications = flag.Int("replications", 30, "replicates per cell for the Monte-Carlo sweeps (fig7-mc, fig8-mc)")
-		seed         = flag.Uint64("seed", 1, "base seed for the Monte-Carlo sweeps and the placement search")
-		budget       = flag.Int("budget", 60, "simulations per search restart for opt-gap")
-		restarts     = flag.Int("restarts", 4, "independent search restarts per opt-gap cell")
+			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, fig8-sharded, opt-gap, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+		sizesFlag     = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
+		ctrlFlag      = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
+		shardsFlag    = flag.String("shards", "", "comma-separated shard counts for fig8-sharded (1 = centralized baseline; default 1,2,4)")
+		stalenessFlag = flag.String("staleness", "", "comma-separated summary-exchange periods in frames for fig8-sharded (default 1,8,32)")
+		shardCtrlFlag = flag.String("shard-controllers", "", "comma-separated per-pool controller counts for fig8-sharded (0 = one infinite-energy controller; default 0,2)")
+		asCSV         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers       = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
+		charts        = flag.Bool("charts", false, "also render ASCII charts for the figures")
+		replications  = flag.Int("replications", 30, "replicates per cell for the Monte-Carlo sweeps (fig7-mc, fig8-mc)")
+		seed          = flag.Uint64("seed", 1, "base seed for the Monte-Carlo sweeps and the placement search")
+		budget        = flag.Int("budget", 60, "simulations per search restart for opt-gap")
+		restarts      = flag.Int("restarts", 4, "independent search restarts per opt-gap cell")
 	)
 	flag.Parse()
 
@@ -44,6 +47,25 @@ func main() {
 	controllers, err := cli.ParseInts(*ctrlFlag, "controller count")
 	if err != nil {
 		fatal(err)
+	}
+
+	shardCounts := experiments.DefaultShardCounts()
+	if *shardsFlag != "" {
+		if shardCounts, err = cli.ParseInts(*shardsFlag, "shard count"); err != nil {
+			fatal(err)
+		}
+	}
+	stalenessBounds := experiments.DefaultStalenessBounds()
+	if *stalenessFlag != "" {
+		if stalenessBounds, err = cli.ParseInts(*stalenessFlag, "staleness bound"); err != nil {
+			fatal(err)
+		}
+	}
+	shardControllers := experiments.DefaultShardedControllerCounts()
+	if *shardCtrlFlag != "" {
+		if shardControllers, err = cli.ParseInts(*shardCtrlFlag, "per-pool controller count"); err != nil {
+			fatal(err)
+		}
 	}
 
 	parallelism := experiments.WithWorkers(*workers)
@@ -118,6 +140,19 @@ func main() {
 		emit(experiments.Fig8MCTable(rows))
 		if *charts {
 			fmt.Println(experiments.Fig8MCChart(rows, controllers).Render(60))
+		}
+		ran++
+	}
+	// The sharded grid multiplies every mesh size by the controller, shard and
+	// staleness axes, so it is opt-in like the Monte-Carlo sweeps.
+	if wantExplicit("fig8-sharded") {
+		rows, err := experiments.Fig8Sharded(sizes, shardControllers, shardCounts, stalenessBounds, parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig8ShardedTable(rows))
+		if *charts {
+			fmt.Println(experiments.Fig8ShardedChart(rows).Render(60))
 		}
 		ran++
 	}

@@ -12,6 +12,8 @@
 //	etsim -scenario degraded-fabric-mc -replications 50
 //	etsim -scenario paper-default -mapping explicit:1,2,3,1,3,1,3,2,3,1,3,3,2,3,2,1
 //	etsim -scenario optimized-4x4 -mapping checkerboard
+//	etsim -mesh 8 -controlplane sharded -shards 4 -staleness 8
+//	etsim -scenario paper-large -controlplane sharded -shards 4
 //
 // With -trace, the combined battery/throughput time-series of the run is
 // written to the given file as deterministic CSV. With -verify (or a
@@ -25,7 +27,9 @@
 // into mean ± CI / quantile aggregates, exactly as cmd/etcampaign does.
 // -mapping overrides the scenario's module placement by strategy name, or
 // replays an exact placement with explicit:<assignment> (the form cmd/etopt
-// prints for its optimized placements).
+// prints for its optimized placements). -controlplane/-shards/-staleness
+// select the controller architecture (see internal/controlplane), both ad hoc
+// and as overrides on a named scenario.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/campaign"
+	"repro/internal/controlplane"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -60,6 +65,9 @@ func main() {
 		maxCycles     = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = run to system death)")
 		perNode       = flag.Bool("v", false, "print per-node statistics")
 		mappingName   = flag.String("mapping", "", "with -scenario: override the scenario's module mapping (checkerboard, proportional, row-major, random or explicit:<assignment>)")
+		planeName     = flag.String("controlplane", "", "control-plane architecture: centralized (default) or sharded; overrides the scenario's when combined with -scenario")
+		shards        = flag.Int("shards", 0, "number of regional controllers under -controlplane sharded (0 = default)")
+		staleness     = flag.Int("staleness", 0, "summary-exchange period in frames between regional controllers (0 = every frame)")
 		seed          = flag.Uint64("seed", 1, "with -scenario: override the scenario's MappingSeed/FailedLinkSeed (single run) or seed the campaign stream (-replications > 1)")
 		replications  = flag.Int("replications", 1, "with -scenario: run this many seed-stream replicates as a Monte-Carlo campaign and print aggregate statistics")
 	)
@@ -107,6 +115,9 @@ func main() {
 				fatal(err)
 			}
 		}
+		if err := applyControlPlaneOverride(&spec, *planeName, *shards, *staleness); err != nil {
+			fatal(err)
+		}
 		if seedSet {
 			// Re-draw the scenario's stochastic knobs without editing the
 			// registry: one ad-hoc draw for a single run, the campaign base
@@ -152,7 +163,8 @@ func main() {
 		}
 		var err error
 		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
-			*controllers, *ctrlBattery, *concurrent, *maxCycles, *verify, *perNode)
+			*controllers, *ctrlBattery, *planeName, *shards, *staleness,
+			*concurrent, *maxCycles, *verify, *perNode)
 		if err != nil {
 			fatal(err)
 		}
@@ -177,6 +189,10 @@ func main() {
 	summary.AddRow("lifetime [cycles]", res.LifetimeCycles)
 	summary.AddRow("TDMA frames", res.Frames)
 	summary.AddRow("routing recomputations", res.RoutingRecomputes)
+	if len(res.ShardRecomputes) > 0 {
+		summary.AddRow("control plane", fmt.Sprintf("%s (%d shards)", res.ControlPlane, len(res.ShardRecomputes)))
+		summary.AddRow("per-shard recomputations", fmt.Sprint(res.ShardRecomputes))
+	}
 	summary.AddRow("deadlock reports", res.DeadlockReports)
 	summary.AddRow("dead nodes", res.DeadNodes)
 	summary.AddRow("computation energy [pJ]", res.Energy.ComputationPJ)
@@ -247,6 +263,32 @@ func applyMappingOverride(spec *scenario.Spec, value string) error {
 	return nil
 }
 
+// applyControlPlaneOverride rewrites the spec's control-plane fields from the
+// -controlplane/-shards/-staleness flags. A -controlplane typo lists the valid
+// names instead of running something other than what the user asked for;
+// inconsistent combinations (e.g. -shards with the centralized plane) are
+// rejected by the spec's eager validation in Strategy.
+func applyControlPlaneOverride(spec *scenario.Spec, plane string, shards, staleness int) error {
+	if plane != "" {
+		kind, err := controlplane.ParseKind(plane)
+		if err != nil {
+			return err
+		}
+		spec.ControlPlane = string(kind)
+		// Overriding the architecture resets the sharding knobs to the new
+		// plane's defaults; the flags below re-set them explicitly.
+		spec.Shards = 0
+		spec.StalenessFrames = 0
+	}
+	if shards > 0 {
+		spec.Shards = shards
+	}
+	if staleness > 0 {
+		spec.StalenessFrames = staleness
+	}
+	return nil
+}
+
 // conflictingFlags returns the names of the explicitly set flags that
 // describe a configuration of their own and therefore cannot be combined
 // with -scenario.
@@ -267,7 +309,8 @@ func conflictingFlags() []string {
 // adHocConfig builds a simulator configuration from the individual flags,
 // preserving etsim's original flag-driven interface.
 func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
-	controllers int, ctrlBattery bool, concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
+	controllers int, ctrlBattery bool, plane string, shards, staleness int,
+	concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
 	cfg, err := sim.Default(meshSize)
 	if err != nil {
 		return sim.Config{}, err
@@ -294,6 +337,11 @@ func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
 	if ctrlBattery {
 		cfg.ControllerBattery = battery.DefaultThinFilmFactory()
 	}
+	kind, err := controlplane.ParseKind(plane)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Control = controlplane.Config{Kind: kind, Shards: shards, StalenessFrames: staleness}
 	cfg.ConcurrentJobs = concurrent
 	cfg.MaxCycles = maxCycles
 	cfg.CollectNodeStats = perNode

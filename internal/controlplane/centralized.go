@@ -1,0 +1,156 @@
+package controlplane
+
+import (
+	"errors"
+
+	"repro/internal/app"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// Centralized is the paper's control plane: one central controller (backed by
+// an optionally redundant, optionally battery-powered pool) that adopts the
+// full system snapshot every frame, re-runs the routing algorithm whenever
+// the information it uses changed, and downloads one table set to the whole
+// mesh. It is a behaviour-preserving extraction of the pre-refactor engine
+// logic; the equivalence suite pins it to a transcribed reference of that
+// logic frame by frame.
+type Centralized struct {
+	deps   Deps
+	pool   *tdma.Pool
+	finite bool
+
+	// Routing state: one reusable workspace owns every phase buffer, tables
+	// points at the workspace-internal buffer of the latest plan (handed back
+	// as prev on the next recompute, which writes into the other ping-pong
+	// buffer), and last is the snapshot adopted at the latest recompute (an
+	// engine-owned buffer retained under the FrameReport.Adopted contract).
+	ws         *routing.Workspace
+	tables     *routing.Tables
+	last       *routing.SystemState
+	recomputes int
+}
+
+// NewCentralized builds the centralized control plane.
+func NewCentralized(deps Deps) (*Centralized, error) {
+	pool, err := tdma.NewPool(deps.Controllers, deps.ControllerPower, deps.ControllerBattery)
+	if err != nil {
+		return nil, err
+	}
+	return &Centralized{
+		deps:   deps,
+		pool:   pool,
+		finite: deps.ControllerBattery != nil,
+		ws:     routing.NewWorkspace(),
+	}, nil
+}
+
+// Name implements ControlPlane.
+func (c *Centralized) Name() string { return string(KindCentralized) }
+
+// Frame implements ControlPlane. The sequence — deadlock-report counting,
+// change detection, energy accounting, pool serving, recompute — reproduces
+// the pre-refactor engine's processFrame exactly.
+func (c *Centralized) Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport {
+	var rep FrameReport
+	for id, st := range snapshot.Status {
+		if st.Deadlocked && (c.last == nil || !c.last.Status[id].Deadlocked) {
+			rep.NewDeadlockReports++
+		}
+	}
+
+	changed := c.stateChanged(snapshot)
+
+	// Controller energy: bookkeeping every frame, plus the routing
+	// computation and the table download when the state changed.
+	k := c.deps.Graph.NodeCount()
+	rep.ControllerPJ = c.deps.TDMA.ControllerFrameEnergyPJ(c.deps.ControllerPower, k, changed)
+	if changed {
+		rep.DownloadPJ = c.deps.TDMA.DownloadEnergyPerNodePJ() * float64(aliveNodes)
+	}
+	if err := c.pool.ServeFrame(rep.ControllerPJ+rep.DownloadPJ, 0); err != nil {
+		if errors.Is(err, tdma.ErrAllControllersDead) && c.finite {
+			rep.ControllersDead = true
+			return rep
+		}
+	}
+	c.pool.RestAll(c.deps.TDMA.FramePeriodCycles)
+
+	if changed || c.tables == nil {
+		plan := routing.ComputeInto(c.ws, c.deps.Algorithm, snapshot, c.deps.Destinations, c.tables)
+		c.tables = plan.Tables
+		c.last = snapshot
+		c.recomputes++
+		rep.Adopted = true
+		rep.Recomputed = true
+		rep.ShardRecomputes = 1
+	}
+	return rep
+}
+
+// stateChanged reports whether the newly reported snapshot differs from the
+// previously adopted one in any way the routing algorithm cares about. Both
+// snapshots are dense slices over the same node set, so this is a linear
+// compare.
+func (c *Centralized) stateChanged(snapshot *routing.SystemState) bool {
+	if c.last == nil || len(c.last.Status) != len(snapshot.Status) {
+		return true
+	}
+	needLevels := c.deps.Algorithm.NeedsBatteryInfo()
+	for id, st := range snapshot.Status {
+		prev := c.last.Status[id]
+		if st.Alive != prev.Alive || st.Deadlocked != prev.Deadlocked {
+			return true
+		}
+		if needLevels && st.BatteryLevel != prev.BatteryLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// Table implements ControlPlane.
+func (c *Centralized) Table(node topology.NodeID) (routing.Table, bool) {
+	return c.tables.Table(node)
+}
+
+// NextHop implements ControlPlane.
+func (c *Centralized) NextHop(from, dest topology.NodeID) topology.NodeID {
+	return c.tables.NextHop(from, dest)
+}
+
+// RouteTo implements ControlPlane.
+func (c *Centralized) RouteTo(node topology.NodeID, id app.ModuleID) (routing.Route, bool) {
+	return c.tables.RouteTo(node, id)
+}
+
+// Shards implements ControlPlane: the centralized plane is one region.
+func (c *Centralized) Shards() int { return 1 }
+
+// AliveShards implements ControlPlane.
+func (c *Centralized) AliveShards() int {
+	if c.pool.AllDead() {
+		return 0
+	}
+	return 1
+}
+
+// RecomputeCount implements ControlPlane.
+func (c *Centralized) RecomputeCount(shard int) int {
+	if shard != 0 {
+		return 0
+	}
+	return c.recomputes
+}
+
+// ShardConsumedPJ implements ControlPlane.
+func (c *Centralized) ShardConsumedPJ(shard int) float64 {
+	if shard != 0 {
+		return 0
+	}
+	return c.pool.ConsumedPJ()
+}
+
+// Pool exposes the underlying controller pool for tests and statistics.
+func (c *Centralized) Pool() *tdma.Pool { return c.pool }

@@ -1,0 +1,246 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// This file pins the extracted Centralized control plane to the pre-refactor
+// engine behaviour: refEngineControl below is a faithful transcription of the
+// controller section of the old sim.processFrame (deadlock counting, change
+// detection, energy accounting, pool serving, recompute, snapshot adoption),
+// and the equivalence test asserts both produce identical frame reports and
+// identical routing tables over randomized snapshot sequences — including the
+// finite-battery death path of Sec 7.3.
+
+// refEngineControl is the pre-refactor engine's controller logic, kept
+// verbatim (the engine held pool/ws/tables/lastSnapshot as its own fields and
+// ran this sequence inline in processFrame).
+type refEngineControl struct {
+	deps   Deps
+	pool   *tdma.Pool
+	finite bool
+
+	ws     *routing.Workspace
+	tables *routing.Tables
+	last   *routing.SystemState
+}
+
+func newRefEngineControl(t *testing.T, deps Deps) *refEngineControl {
+	t.Helper()
+	pool, err := tdma.NewPool(deps.Controllers, deps.ControllerPower, deps.ControllerBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &refEngineControl{deps: deps, pool: pool, finite: deps.ControllerBattery != nil, ws: routing.NewWorkspace()}
+}
+
+func (r *refEngineControl) frame(aliveNodes int, snapshot *routing.SystemState) FrameReport {
+	var rep FrameReport
+	for id, st := range snapshot.Status {
+		if st.Deadlocked && (r.last == nil || !r.last.Status[id].Deadlocked) {
+			rep.NewDeadlockReports++
+		}
+	}
+	changed := r.stateChanged(snapshot)
+	k := r.deps.Graph.NodeCount()
+	rep.ControllerPJ = r.deps.TDMA.ControllerFrameEnergyPJ(r.deps.ControllerPower, k, changed)
+	if changed {
+		rep.DownloadPJ = r.deps.TDMA.DownloadEnergyPerNodePJ() * float64(aliveNodes)
+	}
+	if err := r.pool.ServeFrame(rep.ControllerPJ+rep.DownloadPJ, 0); err != nil {
+		if errors.Is(err, tdma.ErrAllControllersDead) && r.finite {
+			rep.ControllersDead = true
+			return rep
+		}
+	}
+	r.pool.RestAll(r.deps.TDMA.FramePeriodCycles)
+	if changed || r.tables == nil {
+		plan := routing.ComputeInto(r.ws, r.deps.Algorithm, snapshot, r.deps.Destinations, r.tables)
+		r.tables = plan.Tables
+		r.last = snapshot
+		rep.Adopted = true
+		rep.Recomputed = true
+		rep.ShardRecomputes = 1
+	}
+	return rep
+}
+
+func (r *refEngineControl) stateChanged(snapshot *routing.SystemState) bool {
+	if r.last == nil || len(r.last.Status) != len(snapshot.Status) {
+		return true
+	}
+	needLevels := r.deps.Algorithm.NeedsBatteryInfo()
+	for id, st := range snapshot.Status {
+		prev := r.last.Status[id]
+		if st.Alive != prev.Alive || st.Deadlocked != prev.Deadlocked {
+			return true
+		}
+		if needLevels && st.BatteryLevel != prev.BatteryLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// compareReports asserts two frame reports are identical (energies computed
+// through the same call sequence must match bitwise).
+func compareReports(t *testing.T, frame int64, got, want FrameReport) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("frame %d: report = %+v, want %+v", frame, got, want)
+	}
+}
+
+// compareTables asserts the control plane serves exactly the reference's
+// tables: same per-node presence, next hops and module routes.
+func compareTables(t *testing.T, frame int64, deps Deps, cp ControlPlane, tables *routing.Tables) {
+	t.Helper()
+	k := deps.Graph.NodeCount()
+	for n := 0; n < k; n++ {
+		node := topology.NodeID(n)
+		_, gotOK := cp.Table(node)
+		_, wantOK := tables.Table(node)
+		if gotOK != wantOK {
+			t.Fatalf("frame %d: Table(%d) present = %v, want %v", frame, n, gotOK, wantOK)
+		}
+		for d := 0; d < k; d++ {
+			dest := topology.NodeID(d)
+			if got, want := cp.NextHop(node, dest), tables.NextHop(node, dest); got != want {
+				t.Fatalf("frame %d: NextHop(%d,%d) = %d, want %d", frame, n, d, got, want)
+			}
+		}
+		for m := range deps.Destinations {
+			got, gotOK := cp.RouteTo(node, m)
+			want, wantOK := tables.RouteTo(node, m)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("frame %d: RouteTo(%d,%d) = %+v,%v, want %+v,%v", frame, n, m, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// driveSequence evolves a master status vector like the engine's upload phase
+// would: battery drift, occasional deaths and deadlock flags, reported into
+// double-buffered snapshots exactly as sim.processFrame hands them to the
+// plane (the buffer flips only on adopted frames).
+func driveSequence(t *testing.T, deps Deps, cp *Centralized, ref *refEngineControl, frames int, seed int64) {
+	t.Helper()
+	const levels = 8
+	k := deps.Graph.NodeCount()
+	rng := rand.New(rand.NewSource(seed))
+	master := make([]routing.NodeStatus, k)
+	for i := range master {
+		master[i] = routing.NodeStatus{Alive: true, BatteryLevel: levels - 1}
+	}
+	snaps := [2]*routing.SystemState{fullState(deps.Graph, levels), fullState(deps.Graph, levels)}
+	flip := 0
+	for frame := int64(1); frame <= int64(frames); frame++ {
+		cur := snaps[flip]
+		copy(cur.Status, master)
+		alive := aliveCount(cur)
+
+		rep := cp.Frame(frame, alive, cur)
+		refRep := ref.frame(alive, cur)
+		compareReports(t, frame, rep, refRep)
+		if rep.ControllersDead {
+			if cp.AliveShards() != 0 {
+				t.Fatalf("frame %d: dead plane reports %d alive shards", frame, cp.AliveShards())
+			}
+			return
+		}
+		compareTables(t, frame, deps, cp, ref.tables)
+		if cp.RecomputeCount(0) != 0 && cp.ShardConsumedPJ(0) <= 0 {
+			t.Fatalf("frame %d: recomputed but ShardConsumedPJ = %g", frame, cp.ShardConsumedPJ(0))
+		}
+		if rep.Adopted {
+			flip ^= 1
+		}
+
+		// Evolve the master state: drift some batteries, occasionally kill a
+		// node or raise/clear a deadlock flag; some frames change nothing, so
+		// the no-recompute path is exercised too.
+		if rng.Float64() < 0.7 {
+			for i := range master {
+				if !master[i].Alive {
+					continue
+				}
+				if rng.Float64() < 0.3 && master[i].BatteryLevel > 0 {
+					master[i].BatteryLevel--
+				}
+				if rng.Float64() < 0.03 {
+					master[i].Alive = false
+				}
+				master[i].Deadlocked = rng.Float64() < 0.1
+			}
+		}
+	}
+}
+
+// TestCentralizedMatchesEngineReference is the extraction pin: over meshes
+// 4-8, both algorithms and both controller-battery regimes, the Centralized
+// plane must reproduce the pre-refactor engine logic frame by frame.
+func TestCentralizedMatchesEngineReference(t *testing.T) {
+	for _, meshSize := range []int{4, 6, 8} {
+		for _, alg := range []routing.Algorithm{routing.SDR{}, routing.NewEAR()} {
+			for _, finite := range []bool{false, true} {
+				name := fmt.Sprintf("%dx%d/%s/finite=%v", meshSize, meshSize, alg.Name(), finite)
+				t.Run(name, func(t *testing.T) {
+					deps := testDeps(meshSize, alg)
+					deps.Controllers = 2
+					if finite {
+						// Small enough that the pool dies within the sequence,
+						// so the ControllersDead path is compared too.
+						deps.ControllerBattery = battery.IdealFactory(40 * float64(meshSize*meshSize))
+					}
+					cp, err := NewCentralized(deps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					driveSequence(t, deps, cp, newRefEngineControl(t, deps), 40, int64(meshSize)*17+int64(len(alg.Name())))
+				})
+			}
+		}
+	}
+}
+
+// TestCentralizedInfinitePoolNeverDies guards the Sec 7.1/7.2 regime: with no
+// controller batteries the plane must never report ControllersDead, whatever
+// the pool error path does.
+func TestCentralizedInfinitePoolNeverDies(t *testing.T) {
+	deps := testDeps(4, routing.NewEAR())
+	cp, err := NewCentralized(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double-buffered snapshots, per the FrameReport.Adopted contract.
+	master := fullState(deps.Graph, 8)
+	snaps := [2]*routing.SystemState{fullState(deps.Graph, 8), fullState(deps.Graph, 8)}
+	flip := 0
+	for frame := int64(1); frame <= 200; frame++ {
+		// Force a recompute (and its higher energy draw) every frame.
+		master.Status[int(frame)%len(master.Status)].BatteryLevel ^= 1
+		cur := snaps[flip]
+		copy(cur.Status, master.Status)
+		rep := cp.Frame(frame, aliveCount(cur), cur)
+		if rep.Adopted {
+			flip ^= 1
+		}
+		if rep.ControllersDead {
+			t.Fatalf("frame %d: infinite-energy pool reported dead", frame)
+		}
+		if !rep.Recomputed || rep.ShardRecomputes != 1 {
+			t.Fatalf("frame %d: forced change did not recompute (%+v)", frame, rep)
+		}
+	}
+	if got := cp.RecomputeCount(0); got != 200 {
+		t.Fatalf("RecomputeCount = %d, want 200", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package controlplane is the controller side of the TDMA control mechanism,
+// extracted from the simulation engine so that alternative controller
+// architectures are components instead of engine rewrites. A ControlPlane
+// owns everything the paper's Sec 5.3/6 controller does between the upload
+// and download phases of a frame: it adopts the reported system snapshot,
+// decides whether the routing algorithm must re-run, produces the routing
+// tables each node downloads, and accounts the controller-side energy and
+// liveness (finite controller batteries, Sec 7.3).
+//
+// Two implementations ship:
+//
+//   - Centralized is the paper's single (optionally redundant) central
+//     controller: one global snapshot, one recompute decision, one table set.
+//     It is a behaviour-preserving extraction of the pre-refactor engine
+//     logic and is pinned to it by an equivalence suite.
+//
+//   - Sharded partitions the mesh into contiguous regions, each owned by a
+//     regional controller with its own workspace, redundant-controller pool
+//     and finite batteries. A region recomputes only when the state it can
+//     see changed: its own shard's reports are fresh every frame, while the
+//     other regions' battery summaries arrive only every StalenessFrames
+//     frames. Individual regions can exhaust their batteries and die while
+//     the rest of the fabric keeps routing on the survivors' tables.
+//
+// Determinism contract: a ControlPlane must be a pure function of the frame
+// index and the reported state — no clocks, no randomness, no dependence on
+// goroutine scheduling — so that every sweep built on top remains
+// byte-identical at any worker count.
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/battery"
+	"repro/internal/energy"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// Kind names a control-plane implementation.
+type Kind string
+
+// The registered control-plane kinds.
+const (
+	// KindCentralized is the paper's single central controller (the default).
+	KindCentralized Kind = "centralized"
+	// KindSharded is the regional-controller control plane: contiguous mesh
+	// shards, per-shard recompute, bounded-staleness summary exchange.
+	KindSharded Kind = "sharded"
+)
+
+// KindNames lists the accepted control-plane names, for CLI error messages.
+func KindNames() []string {
+	return []string{string(KindCentralized), string(KindSharded)}
+}
+
+// ParseKind resolves a control-plane name; "" selects the centralized
+// default. A typo lists the valid names.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "", string(KindCentralized):
+		return KindCentralized, nil
+	case string(KindSharded):
+		return KindSharded, nil
+	default:
+		return "", fmt.Errorf("controlplane: unknown control plane %q (want one of: %s)",
+			name, strings.Join(KindNames(), ", "))
+	}
+}
+
+// DefaultShards is the shard count used when a sharded configuration does not
+// specify one.
+const DefaultShards = 4
+
+// Config selects and parameterises a control-plane implementation. The zero
+// value selects the centralized controller of the paper.
+type Config struct {
+	// Kind is the implementation ("" = KindCentralized).
+	Kind Kind
+	// Shards is the number of regional controllers (KindSharded only;
+	// 0 = DefaultShards).
+	Shards int
+	// StalenessFrames is the period, in TDMA frames, at which regional
+	// controllers exchange battery summaries about each other's shards
+	// (KindSharded only; 0 = 1 = exchange every frame). Between exchanges a
+	// region routes on a stale view of the rest of the fabric.
+	StalenessFrames int
+}
+
+// Validate checks the configuration against a k-node platform.
+func (c Config) Validate(k int) error {
+	if _, err := ParseKind(string(c.Kind)); err != nil {
+		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("controlplane: shard count must be non-negative, got %d", c.Shards)
+	}
+	if c.StalenessFrames < 0 {
+		return fmt.Errorf("controlplane: staleness bound must be non-negative, got %d frames", c.StalenessFrames)
+	}
+	switch c.Kind {
+	case "", KindCentralized:
+		if c.Shards > 1 {
+			return fmt.Errorf("controlplane: %d shards require the sharded control plane", c.Shards)
+		}
+		if c.StalenessFrames > 1 {
+			return fmt.Errorf("controlplane: a staleness bound of %d frames requires the sharded control plane", c.StalenessFrames)
+		}
+	case KindSharded:
+		shards := c.Shards
+		if shards == 0 {
+			shards = DefaultShards
+		}
+		if k > 0 && shards > k {
+			return fmt.Errorf("controlplane: %d shards exceed the %d-node platform", shards, k)
+		}
+	}
+	return nil
+}
+
+// Deps carries everything a control plane needs from the platform: the
+// topology and routing algorithm, the module duplicate lists, the TDMA
+// calibration and the controller power/battery models.
+type Deps struct {
+	Graph        *topology.Graph
+	Algorithm    routing.Algorithm
+	Destinations map[app.ModuleID][]topology.NodeID
+	TDMA         tdma.Params
+	// Controllers is the number of redundant controllers per pool: the whole
+	// pool for Centralized, per regional pool for Sharded.
+	Controllers int
+	// ControllerPower characterises each controller's dynamic/leakage power.
+	ControllerPower energy.Controller
+	// ControllerBattery builds controller batteries; nil models the
+	// infinite-energy controller of Sec 7.1/7.2.
+	ControllerBattery battery.Factory
+}
+
+// FrameReport is what a control plane hands back to the engine for one frame.
+type FrameReport struct {
+	// ControllerPJ is the energy the controller(s) consumed this frame
+	// (bookkeeping plus any routing computation).
+	ControllerPJ float64
+	// DownloadPJ is the shared-medium energy spent downloading new tables.
+	DownloadPJ float64
+	// NewDeadlockReports counts deadlock notifications first uploaded this
+	// frame, relative to the controllers' previously adopted state.
+	NewDeadlockReports int
+	// Recomputed is true when any controller re-ran the routing algorithm.
+	Recomputed bool
+	// ShardRecomputes is the number of regional recomputations this frame
+	// (1 for a centralized recompute).
+	ShardRecomputes int
+	// Adopted is true when the control plane retained the snapshot pointer as
+	// its new reference state; the engine must hand a different buffer to the
+	// next Frame call and keep this one intact until the next adopted frame.
+	Adopted bool
+	// ControllersDead is true when every controller battery is exhausted and
+	// the control plane can never produce tables again — the Sec 7.3 system
+	// death. Planes with infinite-energy controllers never set it.
+	ControllersDead bool
+}
+
+// ControlPlane is the engine's interface to the controller architecture. The
+// engine calls Frame once per TDMA control frame (after the upload phase) and
+// routes every packet through the table accessors, which reflect the tables
+// most recently downloaded to each node.
+//
+// Implementations must be deterministic: Frame must be a pure function of
+// (frame index, reported state) and the plane's own prior decisions.
+type ControlPlane interface {
+	// Name identifies the implementation ("centralized", "sharded").
+	Name() string
+
+	// Frame runs the controller side of one TDMA frame: adopt the snapshot,
+	// decide recompute, rebuild tables, account energy and liveness.
+	// aliveNodes is the number of nodes that survived the upload phase;
+	// snapshot is the engine-owned status report (see FrameReport.Adopted for
+	// the buffer-retention contract).
+	Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport
+
+	// Table returns the view of node's current routing table; ok is false
+	// when the node has none (dead when its tables were built, or its region
+	// never produced tables).
+	Table(node topology.NodeID) (routing.Table, bool)
+	// NextHop returns the next hop from `from` towards `dest`, or
+	// topology.Invalid if unknown.
+	NextHop(from, dest topology.NodeID) topology.NodeID
+	// RouteTo returns the route downloaded to node for the given module.
+	RouteTo(node topology.NodeID, id app.ModuleID) (routing.Route, bool)
+
+	// Shards returns the number of regional controllers (1 for centralized).
+	Shards() int
+	// AliveShards returns how many regions can still serve frames.
+	AliveShards() int
+	// RecomputeCount returns how many times region `shard` re-ran the routing
+	// algorithm so far.
+	RecomputeCount(shard int) int
+	// ShardConsumedPJ returns the controller energy drained by region
+	// `shard`'s pool so far.
+	ShardConsumedPJ(shard int) float64
+}
+
+// New builds the control plane selected by cfg.
+func New(cfg Config, deps Deps) (ControlPlane, error) {
+	if err := cfg.Validate(deps.Graph.NodeCount()); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case "", KindCentralized:
+		return NewCentralized(deps)
+	case KindSharded:
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = DefaultShards
+		}
+		staleness := cfg.StalenessFrames
+		if staleness == 0 {
+			staleness = 1
+		}
+		return NewSharded(deps, shards, staleness)
+	default:
+		_, err := ParseKind(string(cfg.Kind))
+		return nil, err
+	}
+}

@@ -1,0 +1,267 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/routing"
+	"repro/internal/tdma"
+	"repro/internal/topology"
+)
+
+// regionState is one regional controller's private world: the contiguous node
+// range it owns, its (possibly stale) full-mesh view of the reported status,
+// the view it adopted at its last recompute, and its own routing workspace and
+// table generation.
+type regionState struct {
+	lo, hi int // owned node range [lo, hi)
+
+	view    routing.SystemState // current belief about the whole mesh
+	last    routing.SystemState // view adopted at the last recompute
+	hasLast bool
+
+	ws         *routing.Workspace
+	tables     *routing.Tables
+	dead       bool
+	recomputes int
+}
+
+// Sharded is the regional control plane: the mesh is partitioned into
+// contiguous shards of near-equal size (node IDs are row-major, so on a mesh
+// the shards are contiguous row bands), each owned by a regional controller
+// pool with its own workspace and finite batteries.
+//
+// Every frame a region hears its own shard's upload slots, so its view of its
+// own nodes is always fresh; the other regions' battery/deadlock summaries are
+// exchanged only every StalenessFrames frames, so between exchanges the region
+// routes on a stale view of the rest of the fabric. A region re-runs the
+// routing algorithm only when the state it can see changed, which both skips
+// frames where only invisible remote changes happened and batches many remote
+// changes into the single recompute after an exchange. A region whose pool
+// dies freezes its tables: its nodes keep routing on the last downloaded
+// generation while the surviving regions continue to adapt.
+//
+// The whole schedule is a pure function of (frame index, reported state), so
+// sharded sweeps remain byte-identical at every worker count.
+type Sharded struct {
+	deps      Deps
+	staleness int
+	finite    bool
+
+	regions *tdma.Regions
+	shards  []regionState
+	owner   []int // NodeID -> shard index
+}
+
+// NewSharded builds a sharded control plane with the given region count and
+// summary-exchange period (in frames; 1 = exchange every frame).
+func NewSharded(deps Deps, shards, staleness int) (*Sharded, error) {
+	k := deps.Graph.NodeCount()
+	if shards < 1 {
+		return nil, fmt.Errorf("controlplane: sharded plane needs at least one shard, got %d", shards)
+	}
+	if shards > k {
+		return nil, fmt.Errorf("controlplane: %d shards exceed the %d-node platform", shards, k)
+	}
+	if staleness < 1 {
+		return nil, fmt.Errorf("controlplane: staleness bound must be at least one frame, got %d", staleness)
+	}
+	regions, err := tdma.NewRegions(shards, deps.Controllers, deps.ControllerPower, deps.ControllerBattery)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		deps:      deps,
+		staleness: staleness,
+		finite:    deps.ControllerBattery != nil,
+		regions:   regions,
+		shards:    make([]regionState, shards),
+		owner:     make([]int, k),
+	}
+	for b := range s.shards {
+		lo, hi := b*k/shards, (b+1)*k/shards
+		s.shards[b] = regionState{lo: lo, hi: hi, ws: routing.NewWorkspace()}
+		for n := lo; n < hi; n++ {
+			s.owner[n] = b
+		}
+	}
+	return s, nil
+}
+
+// Name implements ControlPlane.
+func (s *Sharded) Name() string { return string(KindSharded) }
+
+// Frame implements ControlPlane: one controller frame for every living
+// region, in shard order for determinism.
+func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport {
+	var rep FrameReport
+	// Summary-exchange frames: the first frame always synchronises (every
+	// region must learn the initial state), then every staleness-th frame
+	// after it.
+	exchange := (frame-1)%int64(s.staleness) == 0
+	k := s.deps.Graph.NodeCount()
+	needLevels := s.deps.Algorithm.NeedsBatteryInfo()
+
+	for b := range s.shards {
+		sh := &s.shards[b]
+		if sh.dead {
+			continue
+		}
+		// Refresh the region's view: its own shard every frame, the rest of
+		// the mesh only on exchange frames.
+		if sh.view.Status == nil {
+			sh.view = routing.SystemState{Graph: snapshot.Graph, Levels: snapshot.Levels}
+			sh.view.Status = make([]routing.NodeStatus, len(snapshot.Status))
+		}
+		if exchange {
+			copy(sh.view.Status, snapshot.Status)
+		} else {
+			copy(sh.view.Status[sh.lo:sh.hi], snapshot.Status[sh.lo:sh.hi])
+		}
+
+		// Deadlock notifications are uploaded by the stuck node, so each is
+		// observed (exactly once) by the region that owns the node.
+		for n := sh.lo; n < sh.hi; n++ {
+			if sh.view.Status[n].Deadlocked && (!sh.hasLast || !sh.last.Status[n].Deadlocked) {
+				rep.NewDeadlockReports++
+			}
+		}
+
+		changed := s.regionChanged(sh, needLevels)
+
+		// The regional controller still runs the routing phases over the full
+		// mesh (routes cross shard boundaries), so a recompute costs the same
+		// k-node computation as the centralized controller's; the saving is in
+		// how rarely the visible state changes and in downloading tables only
+		// to the region's own alive nodes.
+		framePJ := s.deps.TDMA.ControllerFrameEnergyPJ(s.deps.ControllerPower, k, changed)
+		downloadPJ := 0.0
+		if changed {
+			aliveInShard := 0
+			for n := sh.lo; n < sh.hi; n++ {
+				if sh.view.Status[n].Alive {
+					aliveInShard++
+				}
+			}
+			downloadPJ = s.deps.TDMA.DownloadEnergyPerNodePJ() * float64(aliveInShard)
+		}
+		rep.ControllerPJ += framePJ
+		rep.DownloadPJ += downloadPJ
+
+		pool := s.regions.Pool(b)
+		if err := pool.ServeFrame(framePJ+downloadPJ, 0); err != nil {
+			if errors.Is(err, tdma.ErrAllControllersDead) && s.finite {
+				// The region dies with its tables frozen: its nodes route on
+				// the last downloaded generation from here on.
+				sh.dead = true
+				continue
+			}
+		}
+		pool.RestAll(s.deps.TDMA.FramePeriodCycles)
+
+		if changed || sh.tables == nil {
+			plan := routing.ComputeInto(sh.ws, s.deps.Algorithm, &sh.view, s.deps.Destinations, sh.tables)
+			sh.tables = plan.Tables
+			s.adoptView(sh)
+			sh.recomputes++
+			rep.Recomputed = true
+			rep.ShardRecomputes++
+		}
+	}
+
+	if s.finite && s.regions.AllDead() {
+		rep.ControllersDead = true
+	}
+	return rep
+}
+
+// regionChanged reports whether the region's current view differs from the
+// view adopted at its last recompute in any way the algorithm cares about.
+func (s *Sharded) regionChanged(sh *regionState, needLevels bool) bool {
+	if !sh.hasLast || len(sh.last.Status) != len(sh.view.Status) {
+		return true
+	}
+	for n, st := range sh.view.Status {
+		prev := sh.last.Status[n]
+		if st.Alive != prev.Alive || st.Deadlocked != prev.Deadlocked {
+			return true
+		}
+		if needLevels && st.BatteryLevel != prev.BatteryLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// adoptView records the region's current view as its last-recomputed
+// reference, reusing the region-owned buffer. The sharded plane never retains
+// the engine's snapshot buffer, so it never sets FrameReport.Adopted.
+func (s *Sharded) adoptView(sh *regionState) {
+	if sh.last.Status == nil {
+		sh.last = routing.SystemState{Graph: sh.view.Graph, Levels: sh.view.Levels}
+		sh.last.Status = make([]routing.NodeStatus, len(sh.view.Status))
+	}
+	copy(sh.last.Status, sh.view.Status)
+	sh.hasLast = true
+}
+
+// ownerOf returns the region owning node, or nil for out-of-range IDs.
+func (s *Sharded) ownerOf(node topology.NodeID) *regionState {
+	if int(node) < 0 || int(node) >= len(s.owner) {
+		return nil
+	}
+	return &s.shards[s.owner[node]]
+}
+
+// Table implements ControlPlane: each node uses the tables its own region last
+// downloaded (nil-safe before a region's first recompute).
+func (s *Sharded) Table(node topology.NodeID) (routing.Table, bool) {
+	sh := s.ownerOf(node)
+	if sh == nil {
+		return routing.Table{}, false
+	}
+	return sh.tables.Table(node)
+}
+
+// NextHop implements ControlPlane. The relay decision at `from` is made by
+// from's own region's tables.
+func (s *Sharded) NextHop(from, dest topology.NodeID) topology.NodeID {
+	sh := s.ownerOf(from)
+	if sh == nil {
+		return topology.Invalid
+	}
+	return sh.tables.NextHop(from, dest)
+}
+
+// RouteTo implements ControlPlane.
+func (s *Sharded) RouteTo(node topology.NodeID, id app.ModuleID) (routing.Route, bool) {
+	sh := s.ownerOf(node)
+	if sh == nil {
+		return routing.Route{}, false
+	}
+	return sh.tables.RouteTo(node, id)
+}
+
+// Shards implements ControlPlane.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// AliveShards implements ControlPlane.
+func (s *Sharded) AliveShards() int { return s.regions.AliveShards() }
+
+// RecomputeCount implements ControlPlane.
+func (s *Sharded) RecomputeCount(shard int) int { return s.shards[shard].recomputes }
+
+// ShardConsumedPJ implements ControlPlane.
+func (s *Sharded) ShardConsumedPJ(shard int) float64 { return s.regions.ConsumedPJ(shard) }
+
+// Regions exposes the per-shard controller pools for tests and statistics.
+func (s *Sharded) Regions() *tdma.Regions { return s.regions }
+
+// OwnedRange returns the contiguous node range [lo, hi) owned by shard.
+func (s *Sharded) OwnedRange(shard int) (lo, hi int) {
+	return s.shards[shard].lo, s.shards[shard].hi
+}
+
+// StalenessFrames returns the summary-exchange period.
+func (s *Sharded) StalenessFrames() int { return s.staleness }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/app"
 	"repro/internal/battery"
+	"repro/internal/controlplane"
 	"repro/internal/energy"
 	"repro/internal/mapping"
 	"repro/internal/routing"
@@ -45,8 +46,12 @@ type Strategy struct {
 	Line *energy.TransmissionLine
 	// TDMA is the control-mechanism configuration.
 	TDMA tdma.Params
-	// Controllers is the number of central controllers.
+	// Controllers is the number of redundant controllers (whole central pool,
+	// or per regional pool under the sharded control plane).
 	Controllers int
+	// Control selects the control-plane architecture; the zero value is the
+	// paper's centralized controller.
+	Control controlplane.Config
 	// ControllerBattery builds controller batteries; nil means infinite.
 	ControllerBattery battery.Factory
 	// ConcurrentJobs is the number of jobs kept in flight.
@@ -96,6 +101,12 @@ func WithControllers(n int, finite bool) Option {
 			s.ControllerBattery = nil
 		}
 	}
+}
+
+// WithControlPlane selects the control-plane architecture (see
+// controlplane.Config; the default is the paper's centralized controller).
+func WithControlPlane(cfg controlplane.Config) Option {
+	return func(s *Strategy) { s.Control = cfg }
 }
 
 // WithConcurrentJobs sets the number of jobs kept in flight simultaneously.
@@ -202,6 +213,7 @@ func (s *Strategy) Config() (sim.Config, error) {
 		Line:               s.Line,
 		TDMA:               s.TDMA,
 		Controllers:        s.Controllers,
+		Control:            s.Control,
 		ControllerBattery:  s.ControllerBattery,
 		ControllerPower:    energy.PaperController4x4(),
 		BatteryLevels:      routing.DefaultEARParams().Levels,

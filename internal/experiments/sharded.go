@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Fig 8 extension: sharded regional control
+// ---------------------------------------------------------------------------
+
+// DefaultShardedControllerCounts is the controller axis of the fig8-sharded
+// grid: 0 selects the infinite-energy controller of Sec 7.1/7.2 (the
+// equal-lifetime baseline for the recompute comparison), positive counts
+// attach finite thin-film batteries per controller as in Fig 8.
+func DefaultShardedControllerCounts() []int { return []int{0, 2} }
+
+// DefaultShardCounts is the shard axis of the fig8-sharded grid. 1 selects
+// the centralized control plane, giving every sweep its own in-grid baseline.
+func DefaultShardCounts() []int { return []int{1, 2, 4} }
+
+// DefaultStalenessBounds is the summary-exchange-period axis of the
+// fig8-sharded grid, in TDMA frames.
+func DefaultStalenessBounds() []int { return []int{1, 8, 32} }
+
+// Fig8ShardedRow is one (mesh, controllers, shards, staleness) point of the
+// sharded-control study.
+type Fig8ShardedRow struct {
+	Mesh int
+	// Controllers is the redundant-controller count per pool with finite
+	// batteries, or 0 for a single infinite-energy controller per pool.
+	Controllers int
+	// Shards is the regional-controller count; 1 means the centralized plane.
+	Shards int
+	// Staleness is the summary-exchange period in frames (1 for centralized).
+	Staleness int
+	Jobs      int
+	Reason    string
+	// RecomputeFrames counts frames in which at least one controller re-ran
+	// the routing algorithm (the full-mesh recompute count for centralized).
+	RecomputeFrames int
+	// ShardRecomputes is each region's own recompute count (nil for
+	// centralized rows); MaxShardRecomputes is its maximum.
+	ShardRecomputes    []int
+	MaxShardRecomputes int
+}
+
+// fig8ShardedCell is one cell of the flattened sweep grid.
+type fig8ShardedCell struct {
+	mesh, controllers, shards, staleness int
+}
+
+// Fig8Sharded extends the Fig 8 controller-failure study to the sharded
+// control plane: EAR with thin-film node batteries, sweeping the
+// redundant-controller count (per pool; 0 = one infinite-energy controller),
+// the regional shard count and the summary-exchange staleness bound. Shard
+// count 1 runs the centralized plane (its staleness axis collapses to a
+// single row), so every grid carries its own centralized baseline for the
+// recompute comparison — the controllers=0 rows are the equal-lifetime
+// comparison (both planes run until the nodes kill the system), while the
+// finite rows show how regional pools stretch the Fig 8 lifetime.
+// The full grid is evaluated in parallel, one cell per simulation, in the
+// row-major order of the nested axes; results are byte-identical at every
+// worker count.
+func Fig8Sharded(sizes, controllerCounts, shardCounts, stalenessBounds []int, opts ...Option) ([]Fig8ShardedRow, error) {
+	var cells []fig8ShardedCell
+	for _, n := range sizes {
+		for _, c := range controllerCounts {
+			for _, s := range shardCounts {
+				if s <= 1 {
+					// Centralized baseline: staleness is meaningless, keep one row.
+					cells = append(cells, fig8ShardedCell{mesh: n, controllers: c, shards: 1, staleness: 1})
+					continue
+				}
+				for _, st := range stalenessBounds {
+					cells = append(cells, fig8ShardedCell{mesh: n, controllers: c, shards: s, staleness: st})
+				}
+			}
+		}
+	}
+	return runner.Map(newPool(opts), cells, func(_ int, cell fig8ShardedCell) (Fig8ShardedRow, error) {
+		sp := scenario.Spec{
+			Mesh:              cell.mesh,
+			Controllers:       cell.controllers, // 0 defaults to 1
+			FiniteControllers: cell.controllers > 0,
+		}
+		if cell.shards > 1 {
+			sp.ControlPlane = "sharded"
+			sp.Shards = cell.shards
+			sp.StalenessFrames = cell.staleness
+		}
+		res, err := sp.Simulate()
+		if err != nil {
+			return Fig8ShardedRow{}, err
+		}
+		row := Fig8ShardedRow{
+			Mesh:            cell.mesh,
+			Controllers:     cell.controllers,
+			Shards:          cell.shards,
+			Staleness:       cell.staleness,
+			Jobs:            res.JobsCompleted,
+			Reason:          string(res.Reason),
+			RecomputeFrames: res.RoutingRecomputes,
+			ShardRecomputes: res.ShardRecomputes,
+		}
+		for _, r := range res.ShardRecomputes {
+			if r > row.MaxShardRecomputes {
+				row.MaxShardRecomputes = r
+			}
+		}
+		return row, nil
+	})
+}
+
+// Fig8ShardedTable renders the sharded-control sweep, one row per grid cell.
+func Fig8ShardedTable(rows []Fig8ShardedRow) *stats.Table {
+	t := stats.NewTable("Fig 8 extension: sharded regional control (EAR; ctrl/pool \"inf\" = one infinite-energy controller)",
+		"mesh", "ctrl/pool", "shards", "staleness", "jobs", "recompute frames", "max shard recomputes", "death")
+	for _, r := range rows {
+		maxShard := "-"
+		if r.Shards > 1 {
+			maxShard = fmt.Sprintf("%d", r.MaxShardRecomputes)
+		}
+		ctrl := "inf"
+		if r.Controllers > 0 {
+			ctrl = fmt.Sprintf("%d", r.Controllers)
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", r.Mesh, r.Mesh), ctrl, r.Shards, r.Staleness,
+			r.Jobs, r.RecomputeFrames, maxShard, r.Reason)
+	}
+	return t
+}
+
+// Fig8ShardedChart renders jobs completed against the shard count, one series
+// per staleness bound.
+func Fig8ShardedChart(rows []Fig8ShardedRow) *stats.Chart {
+	c := stats.NewChart("Fig 8 extension: jobs completed vs shard count", "shards", "# of jobs")
+	series := map[int]*stats.Series{}
+	for _, r := range rows {
+		s, ok := series[r.Staleness]
+		if !ok {
+			s = c.AddSeries(fmt.Sprintf("staleness %d", r.Staleness))
+			series[r.Staleness] = s
+		}
+		s.Add(float64(r.Shards), float64(r.Jobs))
+	}
+	return c
+}

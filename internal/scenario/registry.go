@@ -227,6 +227,35 @@ func init() {
 			Mapping:     MappingExplicit,
 			Assignment:  "3,2,1,3,1,3,3,2,2,3,3,1,3,1,2,3",
 		},
+		// Sharded control-plane scenarios: regional controllers on contiguous
+		// row bands of the mesh, exchanging battery summaries only every
+		// StalenessFrames frames (see internal/controlplane).
+		{
+			Name:            "sharded-8x8",
+			Description:     "sharded control: EAR on the 8x8 mesh with 4 regional controllers exchanging summaries every 8 frames",
+			Mesh:            8,
+			ControlPlane:    "sharded",
+			Shards:          4,
+			StalenessFrames: 8,
+		},
+		{
+			Name:            "sharded-8x8-stale",
+			Description:     "staleness stress: the sharded 8x8 mesh with a 32-frame summary-exchange period",
+			Mesh:            8,
+			ControlPlane:    "sharded",
+			Shards:          4,
+			StalenessFrames: 32,
+		},
+		{
+			Name:              "sharded-finite-controllers",
+			Description:       "Fig 8 extension: sharded 6x6 mesh where each of 4 regions runs 2 battery-powered controllers",
+			Mesh:              6,
+			ControlPlane:      "sharded",
+			Shards:            4,
+			StalenessFrames:   8,
+			Controllers:       2,
+			FiniteControllers: true,
+		},
 		{
 			Name:               "degraded-random-mc",
 			Description:        "Monte-Carlo cell: random placement on a damaged 5x5 fabric, both draws re-seeded per replicate",

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/routing"
@@ -110,8 +111,23 @@ type Spec struct {
 	// comma-separated (mapping.Explicit's canonical text form). Ignored by
 	// the other mapping strategies.
 	Assignment string
-	// Controllers is the number of central controllers (0 = 1).
+	// Controllers is the number of redundant controllers. 0 defaults to 1 (a
+	// single controller, the paper's setup); negative values are rejected
+	// eagerly by Strategy. Under ControlPlane "sharded" this is the
+	// controller count per regional pool.
 	Controllers int
+	// ControlPlane selects the controller architecture: "" or "centralized"
+	// (the paper's single central controller, the default) or "sharded"
+	// (regional controllers owning contiguous mesh shards).
+	ControlPlane string
+	// Shards is the number of regional controllers under ControlPlane
+	// "sharded" (0 = controlplane.DefaultShards). Invalid with the
+	// centralized plane.
+	Shards int
+	// StalenessFrames is the period, in TDMA frames, at which regional
+	// controllers exchange battery summaries about each other's shards
+	// (0 = 1 = every frame). Invalid with the centralized plane.
+	StalenessFrames int
 	// FiniteControllers attaches thin-film batteries to the controllers
 	// (the Sec 7.3 scenario); false models the infinite-energy controller.
 	FiniteControllers bool
@@ -187,11 +203,27 @@ func (sp Spec) Strategy(extra ...core.Option) (*core.Strategy, error) {
 			sp.Label(), sp.Battery, BatteryThinFilm, BatteryIdeal)
 	}
 
+	if sp.Controllers < 0 {
+		return nil, fmt.Errorf("scenario %s: controller count must be non-negative (0 defaults to 1), got %d",
+			sp.Label(), sp.Controllers)
+	}
 	controllers := sp.Controllers
 	if controllers == 0 {
 		controllers = 1
 	}
 	opts = append(opts, core.WithControllers(controllers, sp.FiniteControllers))
+
+	kind, err := controlplane.ParseKind(sp.ControlPlane)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+	}
+	control := controlplane.Config{Kind: kind, Shards: sp.Shards, StalenessFrames: sp.StalenessFrames}
+	// Validate the control-plane configuration eagerly, like every other spec
+	// error, instead of at materialisation time inside a worker.
+	if err := control.Validate(sp.Mesh * sp.Mesh); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+	}
+	opts = append(opts, core.WithControlPlane(control))
 	if sp.ConcurrentJobs > 1 {
 		opts = append(opts, core.WithConcurrentJobs(sp.ConcurrentJobs))
 	}

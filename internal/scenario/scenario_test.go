@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -153,10 +154,18 @@ func TestSpecIsReusable(t *testing.T) {
 
 func TestSpecRejectsBadValues(t *testing.T) {
 	cases := []Spec{
-		{},                            // missing mesh
-		{Mesh: 4, Algorithm: "OSPF"},  // unknown algorithm
-		{Mesh: 4, Battery: "fusion"},  // unknown battery
-		{Mesh: 4, Mapping: "genetic"}, // unknown mapping
+		{},                                                      // missing mesh
+		{Mesh: 4, Algorithm: "OSPF"},                            // unknown algorithm
+		{Mesh: 4, Battery: "fusion"},                            // unknown battery
+		{Mesh: 4, Mapping: "genetic"},                           // unknown mapping
+		{Mesh: 4, Controllers: -1},                              // negative controller count
+		{Mesh: 4, ControlPlane: "shraded"},                      // unknown control plane
+		{Mesh: 4, Shards: -2},                                   // negative shard count
+		{Mesh: 4, StalenessFrames: -8},                          // negative staleness
+		{Mesh: 4, Shards: 4},                                    // sharding knob on the centralized plane
+		{Mesh: 4, StalenessFrames: 8},                           // staleness knob on the centralized plane
+		{Mesh: 4, ControlPlane: "sharded", Shards: 17},          // more shards than nodes
+		{Mesh: 4, ControlPlane: "sharded", StalenessFrames: -1}, // negative staleness, sharded
 	}
 	for _, sp := range cases {
 		if _, err := sp.Strategy(); err == nil {
@@ -164,6 +173,36 @@ func TestSpecRejectsBadValues(t *testing.T) {
 		}
 		if _, err := sp.Simulate(); err == nil {
 			t.Errorf("Simulate accepted invalid spec %+v", sp)
+		}
+	}
+	// The control-plane typo error must list the valid names, like every
+	// other name-valued spec field.
+	_, err := Spec{Mesh: 4, ControlPlane: "shraded"}.Strategy()
+	if err == nil || !strings.Contains(err.Error(), "centralized") || !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("control-plane typo error %v does not list the valid names", err)
+	}
+	// The negative-controllers error must point at the 0-defaults-to-1
+	// convention so the fix is obvious.
+	_, err = Spec{Mesh: 4, Controllers: -1}.Strategy()
+	if err == nil || !strings.Contains(err.Error(), "0 defaults to 1") {
+		t.Errorf("negative-controllers error %v does not explain the 0 default", err)
+	}
+}
+
+// TestShardedScenariosRegistered: the sharded control-plane scenarios must be
+// in the registry and materialise into sharded configurations.
+func TestShardedScenariosRegistered(t *testing.T) {
+	for _, name := range []string{"sharded-8x8", "sharded-8x8-stale", "sharded-finite-controllers"} {
+		sp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q missing from the registry", name)
+		}
+		strategy, err := sp.Strategy()
+		if err != nil {
+			t.Fatalf("scenario %q: %v", name, err)
+		}
+		if strategy.Control.Kind != controlplane.KindSharded || strategy.Control.Shards < 2 {
+			t.Errorf("scenario %q materialised control %+v, want sharded with >=2 shards", name, strategy.Control)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/aes"
 	"repro/internal/app"
 	"repro/internal/battery"
+	"repro/internal/controlplane"
 	"repro/internal/energy"
 	"repro/internal/mapping"
 	"repro/internal/routing"
@@ -36,8 +37,13 @@ type Config struct {
 	Line *energy.TransmissionLine
 	// TDMA configures the control mechanism.
 	TDMA tdma.Params
-	// Controllers is the number of central controllers (>= 1).
+	// Controllers is the number of redundant controllers (>= 1): the whole
+	// central pool for the centralized control plane, or per regional pool for
+	// the sharded one.
 	Controllers int
+	// Control selects the control-plane architecture; the zero value is the
+	// paper's centralized controller.
+	Control controlplane.Config
 	// ControllerBattery constructs controller batteries; nil models the
 	// infinite-energy controller of Sec 7.1/7.2.
 	ControllerBattery battery.Factory
@@ -148,6 +154,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Controllers < 1 {
 		return fmt.Errorf("sim: at least one controller is required, got %d", c.Controllers)
+	}
+	if err := c.Control.Validate(c.Graph.NodeCount()); err != nil {
+		return err
 	}
 	if c.BatteryLevels < 2 {
 		return fmt.Errorf("sim: battery reporting needs at least 2 levels, got %d", c.BatteryLevels)

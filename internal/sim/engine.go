@@ -7,8 +7,8 @@ import (
 	"repro/internal/aes"
 	"repro/internal/app"
 	"repro/internal/battery"
+	"repro/internal/controlplane"
 	"repro/internal/routing"
-	"repro/internal/tdma"
 	"repro/internal/topology"
 )
 
@@ -75,20 +75,17 @@ type Simulator struct {
 	jobs         []*jobState
 	destinations map[app.ModuleID][]topology.NodeID
 
-	pool *tdma.Pool
-
-	// Routing control plane: one reusable workspace owns every phase-1/2/3
-	// buffer, tables points at the workspace-internal buffer of the latest
-	// plan (and is handed back as prev on the next recompute, which writes
-	// into the other ping-pong buffer). The two snapshot buffers are
-	// alternated by buildSnapshot so comparing against lastSnapshot and
-	// building the next report never allocates.
-	ws           routing.Workspace
-	tables       *routing.Tables
-	snaps        [2]routing.SystemState
-	snapFlip     int
-	lastSnapshot *routing.SystemState
-	blocked      []bool // per-node deadlock scratch for buildSnapshot
+	// plane is the control plane: everything between the upload and download
+	// phases of a TDMA frame (snapshot adoption, the recompute decision, table
+	// production, controller energy and liveness) lives behind this interface.
+	// The two snapshot buffers are alternated by buildSnapshot: when the plane
+	// reports FrameReport.Adopted it retained the buffer it was just handed as
+	// its reference state, so the next frame's report goes into the other one
+	// and steady-state frames allocate nothing.
+	plane    controlplane.ControlPlane
+	snaps    [2]routing.SystemState
+	snapFlip int
+	blocked  []bool // per-node deadlock scratch for buildSnapshot
 
 	pipeline *aes.Pipeline
 	cipher   *aes.Cipher
@@ -157,11 +154,20 @@ func New(cfg Config) (*Simulator, error) {
 		s.destinations[m.ID] = cfg.Mapping.NodesFor(m.ID)
 	}
 
-	pool, err := tdma.NewPool(cfg.Controllers, cfg.ControllerPower, cfg.ControllerBattery)
+	plane, err := controlplane.New(cfg.Control, controlplane.Deps{
+		Graph:             cfg.Graph,
+		Algorithm:         cfg.Algorithm,
+		Destinations:      s.destinations,
+		TDMA:              cfg.TDMA,
+		Controllers:       cfg.Controllers,
+		ControllerPower:   cfg.ControllerPower,
+		ControllerBattery: cfg.ControllerBattery,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.pool = pool
+	s.plane = plane
+	s.res.ControlPlane = plane.Name()
 
 	if cfg.Key != nil {
 		pipeline, err := aes.NewPipeline(cfg.Key)
@@ -248,6 +254,12 @@ func (s *Simulator) finish(reason DeathReason) {
 	}
 	s.dead = true
 	s.finishReason = reason
+	if s.plane != nil && s.plane.Shards() > 1 {
+		s.res.ShardRecomputes = make([]int, s.plane.Shards())
+		for i := range s.res.ShardRecomputes {
+			s.res.ShardRecomputes[i] = s.plane.RecomputeCount(i)
+		}
+	}
 	for _, n := range s.nodes {
 		if n.dead {
 			s.res.Energy.WastedPJ += n.battery.RemainingPJ()
@@ -477,7 +489,7 @@ func (s *Simulator) settle() {
 // begins moving or computing. It returns true if the job changed state.
 func (s *Simulator) resolveRoute(j *jobState) bool {
 	module := s.cfg.App.Flow[j.opIdx]
-	table, ok := s.tables.Table(j.at)
+	table, ok := s.plane.Table(j.at)
 	if !ok {
 		return s.block(j, phaseWaitingRoute)
 	}
@@ -579,9 +591,9 @@ func (s *Simulator) startHop(j *jobState) bool {
 	}
 	next := j.dest
 	if next != j.at {
-		if hop := s.tables.NextHop(j.at, j.dest); hop != topology.Invalid {
+		if hop := s.plane.NextHop(j.at, j.dest); hop != topology.Invalid {
 			next = hop
-		} else if route, ok := s.tables.RouteTo(j.at, s.cfg.App.Flow[j.opIdx]); ok && route.Valid() && route.Dest == j.dest {
+		} else if route, ok := s.plane.RouteTo(j.at, s.cfg.App.Flow[j.opIdx]); ok && route.Valid() && route.Dest == j.dest {
 			next = route.NextHop
 		} else {
 			return s.block(j, phaseWaitingRoute)

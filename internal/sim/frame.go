@@ -1,16 +1,14 @@
 package sim
 
 import (
-	"errors"
-
 	"repro/internal/battery"
 	"repro/internal/routing"
-	"repro/internal/tdma"
 )
 
 // processFrame executes one TDMA control frame at the current cycle: nodes
-// upload their status, the active controller re-runs the routing algorithm if
-// the reported information changed, and new routing tables are downloaded.
+// upload their status, then the control plane adopts the snapshot, re-runs
+// the routing algorithm where the reported information changed, and downloads
+// new routing tables.
 // All accounting flows through the observer event stream: every return path
 // emits a FrameProcessed event carrying whatever energy was actually charged
 // up to that point, so partial frames (the system dying mid-frame) are
@@ -42,18 +40,6 @@ func (s *Simulator) processFrame() {
 	}
 
 	snapshot := s.buildSnapshot()
-	for id, st := range snapshot.Status {
-		if st.Deadlocked && (s.lastSnapshot == nil || !s.lastSnapshot.Status[id].Deadlocked) {
-			frame.NewDeadlockReports++
-		}
-	}
-
-	changed := s.stateChanged(snapshot)
-
-	// Controller energy: bookkeeping every frame, plus the routing
-	// computation and the table download when the state changed.
-	k := s.graph.NodeCount()
-	frame.ControllerPJ = s.cfg.TDMA.ControllerFrameEnergyPJ(s.cfg.ControllerPower, k, changed)
 	aliveCount := 0
 	for _, n := range s.nodes {
 		if !n.dead {
@@ -61,27 +47,25 @@ func (s *Simulator) processFrame() {
 		}
 	}
 	frame.AliveNodes = aliveCount
-	if changed {
-		frame.DownloadPJ = s.cfg.TDMA.DownloadEnergyPerNodePJ() * float64(aliveCount)
-	}
-	if err := s.pool.ServeFrame(frame.ControllerPJ+frame.DownloadPJ, 0); err != nil {
-		if errors.Is(err, tdma.ErrAllControllersDead) && s.cfg.ControllerBattery != nil {
-			s.emitFrameProcessed(frame)
-			s.finish(DeathControllersDead)
-			return
-		}
-	}
-	s.pool.RestAll(s.cfg.TDMA.FramePeriodCycles)
 
-	if changed || s.tables == nil {
-		prev := s.tables
-		plan := routing.ComputeInto(&s.ws, s.cfg.Algorithm, snapshot, s.destinations, prev)
-		s.tables = plan.Tables
-		// The snapshot buffer just filled becomes the reference; the next
-		// frame's report goes into the other buffer.
-		s.lastSnapshot = snapshot
+	rep := s.plane.Frame(s.frameCount, aliveCount, snapshot)
+	frame.ControllerPJ = rep.ControllerPJ
+	frame.DownloadPJ = rep.DownloadPJ
+	frame.NewDeadlockReports = rep.NewDeadlockReports
+	frame.Recomputed = rep.Recomputed
+	frame.ShardRecomputes = rep.ShardRecomputes
+	if rep.Adopted {
+		// The plane retained the snapshot buffer just handed over as its
+		// reference state; the next frame's report goes into the other buffer.
 		s.snapFlip ^= 1
-		frame.Recomputed = true
+	}
+	if rep.ControllersDead {
+		s.emitFrameProcessed(frame)
+		s.finish(DeathControllersDead)
+		return
+	}
+
+	if rep.Recomputed {
 		// Give blocked jobs a chance to re-resolve against the new tables.
 		for _, j := range s.jobs {
 			switch j.phase {
@@ -100,9 +84,9 @@ func (s *Simulator) processFrame() {
 // buildSnapshot collects the per-node status reported during this frame's
 // upload phase, emitting one BatterySampled event per living node when
 // external observers are attached. The snapshot is written into the
-// simulator-owned buffer that is not currently serving as lastSnapshot
-// (processFrame flips the two when the controller adopts a snapshot), so
-// steady-state frames allocate nothing.
+// simulator-owned buffer the control plane is not currently holding as its
+// reference state (processFrame flips the two when the plane reports the
+// snapshot adopted), so steady-state frames allocate nothing.
 func (s *Simulator) buildSnapshot() *routing.SystemState {
 	snapshot := &s.snaps[s.snapFlip]
 	snapshot.Graph = s.graph
@@ -150,24 +134,4 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 		}
 	}
 	return snapshot
-}
-
-// stateChanged reports whether the newly reported snapshot differs from the
-// previous one in any way the routing algorithm cares about. Both snapshots
-// are dense slices over the same node set, so this is a linear compare.
-func (s *Simulator) stateChanged(snapshot *routing.SystemState) bool {
-	if s.lastSnapshot == nil || len(s.lastSnapshot.Status) != len(snapshot.Status) {
-		return true
-	}
-	needLevels := s.cfg.Algorithm.NeedsBatteryInfo()
-	for id, st := range snapshot.Status {
-		prev := s.lastSnapshot.Status[id]
-		if st.Alive != prev.Alive || st.Deadlocked != prev.Deadlocked {
-			return true
-		}
-		if needLevels && st.BatteryLevel != prev.BatteryLevel {
-			return true
-		}
-	}
-	return false
 }

@@ -139,8 +139,11 @@ type FrameEvent struct {
 	DownloadPJ float64
 	// ControllerPJ is the energy consumed by the controller itself.
 	ControllerPJ float64
-	// Recomputed is true when the controller re-ran the routing algorithm.
+	// Recomputed is true when any controller re-ran the routing algorithm.
 	Recomputed bool
+	// ShardRecomputes is the number of regional recomputations this frame
+	// (1 for a centralized recompute, 0..Shards under the sharded plane).
+	ShardRecomputes int
 	// NewDeadlockReports counts deadlock notifications first uploaded this
 	// frame.
 	NewDeadlockReports int

@@ -96,6 +96,9 @@ type Result struct {
 	// Algorithm and MeshNodes identify the scenario.
 	Algorithm string
 	MeshNodes int
+	// ControlPlane names the controller architecture that ran the TDMA frames
+	// ("centralized" or "sharded").
+	ControlPlane string
 
 	// JobsCompleted is the figure of merit: the number of jobs finished
 	// before the system died.
@@ -107,8 +110,13 @@ type Result struct {
 	// Frames is the number of TDMA frames that elapsed.
 	Frames int64
 	// RoutingRecomputes counts how often the controller re-ran the routing
-	// algorithm because the reported state changed.
+	// algorithm because the reported state changed (under the sharded control
+	// plane: the number of frames in which at least one region recomputed).
 	RoutingRecomputes int
+	// ShardRecomputes holds each region's recompute count under the sharded
+	// control plane (nil for the centralized one, whose count is
+	// RoutingRecomputes).
+	ShardRecomputes []int
 	// DeadlockReports counts deadlock notifications uploaded to the
 	// controller.
 	DeadlockReports int

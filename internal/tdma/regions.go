@@ -1,0 +1,76 @@
+package tdma
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/energy"
+)
+
+// Regions is the controller-side energy bookkeeping for a sharded control
+// plane: one redundant-controller Pool per mesh region, each with its own
+// batteries, so a region can exhaust its controllers and die while the other
+// regions keep serving frames. Per-region consumed energy stays separable for
+// the experiment tables.
+type Regions struct {
+	pools []*Pool
+}
+
+// NewRegions creates `shards` independent pools of controllersPerShard
+// controllers each. If factory is non-nil every controller receives its own
+// battery; otherwise all controllers have infinite energy.
+func NewRegions(shards, controllersPerShard int, power energy.Controller, factory battery.Factory) (*Regions, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("tdma: regions need at least one shard, got %d", shards)
+	}
+	r := &Regions{pools: make([]*Pool, shards)}
+	for i := range r.pools {
+		pool, err := NewPool(controllersPerShard, power, factory)
+		if err != nil {
+			return nil, err
+		}
+		r.pools[i] = pool
+	}
+	return r, nil
+}
+
+// Shards returns the number of regions.
+func (r *Regions) Shards() int { return len(r.pools) }
+
+// Pool returns region shard's controller pool.
+func (r *Regions) Pool(shard int) *Pool { return r.pools[shard] }
+
+// ConsumedPJ returns the energy drained by region shard's pool so far.
+func (r *Regions) ConsumedPJ(shard int) float64 { return r.pools[shard].ConsumedPJ() }
+
+// TotalConsumedPJ returns the energy drained across all regions.
+func (r *Regions) TotalConsumedPJ() float64 {
+	total := 0.0
+	for _, p := range r.pools {
+		total += p.ConsumedPJ()
+	}
+	return total
+}
+
+// AliveShards returns the number of regions with at least one living
+// controller.
+func (r *Regions) AliveShards() int {
+	alive := 0
+	for _, p := range r.pools {
+		if !p.AllDead() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// AllDead reports whether every region's pool is exhausted.
+func (r *Regions) AllDead() bool { return r.AliveShards() == 0 }
+
+// RestAll lets every living controller in every region recover for the given
+// number of cycles.
+func (r *Regions) RestAll(cycles int64) {
+	for _, p := range r.pools {
+		p.RestAll(cycles)
+	}
+}

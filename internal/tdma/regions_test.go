@@ -1,0 +1,131 @@
+package tdma
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/energy"
+)
+
+func TestNewRegionsValidation(t *testing.T) {
+	if _, err := NewRegions(0, 1, energy.PaperController4x4(), nil); err == nil {
+		t.Fatal("NewRegions accepted zero shards")
+	}
+	if _, err := NewRegions(2, 0, energy.PaperController4x4(), nil); !errors.Is(err, ErrNoControllers) {
+		t.Fatalf("NewRegions with empty pools: err = %v, want ErrNoControllers", err)
+	}
+	r, err := NewRegions(3, 2, energy.PaperController4x4(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 3 || r.AliveShards() != 3 || r.AllDead() {
+		t.Fatalf("fresh regions state wrong: shards=%d alive=%d", r.Shards(), r.AliveShards())
+	}
+	for i := 0; i < 3; i++ {
+		if r.Pool(i).Size() != 2 {
+			t.Fatalf("region %d pool size = %d, want 2", i, r.Pool(i).Size())
+		}
+	}
+	r.RestAll(1000) // must not panic with nil batteries
+}
+
+// TestRegionsEnergySeparability: per-region consumption must stay separable
+// (the fig8-sharded table reports it per shard) and sum to the total.
+func TestRegionsEnergySeparability(t *testing.T) {
+	r, err := NewRegions(3, 1, energy.PaperController4x4(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Charge each region a distinct amount.
+	for shard, pj := range []float64{100, 250, 400} {
+		if err := r.Pool(shard).ServeFrame(pj, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for shard, want := range []float64{100, 250, 400} {
+		if got := r.ConsumedPJ(shard); got != want {
+			t.Errorf("ConsumedPJ(%d) = %g, want %g", shard, got, want)
+		}
+	}
+	if got := r.TotalConsumedPJ(); got != 750 {
+		t.Errorf("TotalConsumedPJ = %g, want 750", got)
+	}
+}
+
+// TestRegionsDieIndividually: one region's pool exhausting its batteries must
+// not affect the others' ability to serve, and AllDead flips only when the
+// last region dies.
+func TestRegionsDieIndividually(t *testing.T) {
+	r, err := NewRegions(2, 1, energy.PaperController4x4(), battery.IdealFactory(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0 overdraws and dies; region 1 keeps serving within budget.
+	if err := r.Pool(0).ServeFrame(500, 0); !errors.Is(err, ErrAllControllersDead) {
+		t.Fatalf("overdrawn single-controller pool: err = %v, want ErrAllControllersDead", err)
+	}
+	if r.AliveShards() != 1 || r.AllDead() {
+		t.Fatalf("after one region died: alive=%d allDead=%v, want 1,false", r.AliveShards(), r.AllDead())
+	}
+	if err := r.Pool(1).ServeFrame(50, 0); err != nil {
+		t.Fatalf("surviving region failed to serve: %v", err)
+	}
+	// A dead pool must keep propagating ErrAllControllersDead on every
+	// subsequent frame, not just the one it died on.
+	if err := r.Pool(0).ServeFrame(1, 0); !errors.Is(err, ErrAllControllersDead) {
+		t.Fatalf("dead pool ServeFrame: err = %v, want ErrAllControllersDead", err)
+	}
+	if err := r.Pool(1).ServeFrame(500, 0); !errors.Is(err, ErrAllControllersDead) {
+		t.Fatalf("second region overdraw: err = %v, want ErrAllControllersDead", err)
+	}
+	if r.AliveShards() != 0 || !r.AllDead() {
+		t.Fatalf("after both regions died: alive=%d allDead=%v, want 0,true", r.AliveShards(), r.AllDead())
+	}
+}
+
+// TestPoolPartialDeathOrdering pins the failover order of a partially dead
+// pool: controllers die lowest-budget-first under round-robin rotation, the
+// active role skips the dead, and ErrAllControllersDead surfaces exactly on
+// the frame the last controller browns out.
+func TestPoolPartialDeathOrdering(t *testing.T) {
+	// Three controllers, 250 pJ each, 100 pJ per active frame, no idle cost:
+	// each controller serves 2 full frames and browns out on its 3rd.
+	pool, err := NewPool(3, energy.PaperController4x4(), battery.IdealFactory(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aliveAfter []int
+	var fatalFrame int
+	for frame := 1; frame <= 30; frame++ {
+		err := pool.ServeFrame(100, 0)
+		aliveAfter = append(aliveAfter, pool.AliveCount())
+		if err != nil {
+			if !errors.Is(err, ErrAllControllersDead) {
+				t.Fatalf("frame %d: err = %v, want ErrAllControllersDead", frame, err)
+			}
+			fatalFrame = frame
+			break
+		}
+	}
+	// Frames 1-6: two full rounds, all alive. Frames 7-9: the third 100 pJ
+	// draw browns out controllers 0, 1, 2 in rotation order; the death of the
+	// last one is the frame that returns the error.
+	want := []int{3, 3, 3, 3, 3, 3, 2, 1, 0}
+	if len(aliveAfter) != len(want) {
+		t.Fatalf("pool served %d frames (alive trace %v), want %d", len(aliveAfter), aliveAfter, len(want))
+	}
+	for i := range want {
+		if aliveAfter[i] != want[i] {
+			t.Fatalf("alive trace = %v, want %v", aliveAfter, want)
+		}
+	}
+	if fatalFrame != 9 {
+		t.Fatalf("ErrAllControllersDead on frame %d, want 9", fatalFrame)
+	}
+	// Mid-death, the survivors must have kept the rotation going: frames 7-8
+	// were served by living controllers even though the pool was partial.
+	if pool.ConsumedPJ() != 9*100 {
+		t.Errorf("ConsumedPJ = %g, want %g", pool.ConsumedPJ(), 9*100.0)
+	}
+}
