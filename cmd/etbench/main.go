@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 
@@ -24,7 +26,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, fig8-sharded, opt-gap, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, fig8-sharded, opt-gap, scaling, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
 		sizesFlag     = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
 		ctrlFlag      = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
 		shardsFlag    = flag.String("shards", "", "comma-separated shard counts for fig8-sharded (1 = centralized baseline; default 1,2,4)")
@@ -37,8 +39,46 @@ func main() {
 		seed          = flag.Uint64("seed", 1, "base seed for the Monte-Carlo sweeps and the placement search")
 		budget        = flag.Int("budget", 60, "simulations per search restart for opt-gap")
 		restarts      = flag.Int("restarts", 4, "independent search restarts per opt-gap cell")
+		crossings     = flag.Int("crossings", experiments.DefaultScalingCrossings, "battery-level crossings measured per mesh size for scaling")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
 	)
 	flag.Parse()
+
+	sizesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sizes" {
+			sizesSet = true
+		}
+	})
+
+	// Both profiles are written through deferred calls, so they cover
+	// successful runs only: fatal exits through os.Exit, which skips defers.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "etbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "etbench:", err)
+			}
+		}()
+	}
 
 	sizes, err := cli.ParseInts(*sizesFlag, "mesh size")
 	if err != nil {
@@ -154,6 +194,22 @@ func main() {
 		if *charts {
 			fmt.Println(experiments.Fig8ShardedChart(rows).Render(60))
 		}
+		ran++
+	}
+	// The scaling study times big-mesh recomputes serially (minutes at the
+	// 64x64 point), so it is opt-in like the Monte-Carlo sweeps; it also
+	// ignores -sizes' paper-oriented default in favour of its own axis
+	// unless -sizes was set explicitly.
+	if wantExplicit("scaling") {
+		scalingSizes := experiments.DefaultScalingSizes()
+		if sizesSet {
+			scalingSizes = sizes
+		}
+		rows, err := experiments.Scaling(scalingSizes, *crossings)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.ScalingTable(rows))
 		ran++
 	}
 	if wantExplicit("opt-gap") {

@@ -29,7 +29,10 @@
 // replays an exact placement with explicit:<assignment> (the form cmd/etopt
 // prints for its optimized placements). -controlplane/-shards/-staleness
 // select the controller architecture (see internal/controlplane), both ad hoc
-// and as overrides on a named scenario.
+// and as overrides on a named scenario. -recompute selects the controller's
+// phase-2 strategy (incremental dirty-set repair, the default, or the full
+// Floyd-Warshall pass); the two are byte-identical in every output, the knob
+// exists for equivalence checks and timing comparisons.
 package main
 
 import (
@@ -68,6 +71,7 @@ func main() {
 		planeName     = flag.String("controlplane", "", "control-plane architecture: centralized (default) or sharded; overrides the scenario's when combined with -scenario")
 		shards        = flag.Int("shards", 0, "number of regional controllers under -controlplane sharded (0 = default)")
 		staleness     = flag.Int("staleness", 0, "summary-exchange period in frames between regional controllers (0 = every frame)")
+		recompute     = flag.String("recompute", "", "controller phase-2 strategy: incremental (default) or full Floyd-Warshall; outputs are byte-identical either way; overrides the scenario's when combined with -scenario")
 		seed          = flag.Uint64("seed", 1, "with -scenario: override the scenario's MappingSeed/FailedLinkSeed (single run) or seed the campaign stream (-replications > 1)")
 		replications  = flag.Int("replications", 1, "with -scenario: run this many seed-stream replicates as a Monte-Carlo campaign and print aggregate statistics")
 	)
@@ -81,7 +85,9 @@ func main() {
 	})
 
 	if *listScenarios {
-		fmt.Print(scenario.Table().Render())
+		for _, t := range scenario.GroupedTables() {
+			fmt.Print(t.Render())
+		}
 		return
 	}
 
@@ -115,7 +121,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if err := applyControlPlaneOverride(&spec, *planeName, *shards, *staleness); err != nil {
+		if err := applyControlPlaneOverride(&spec, *planeName, *shards, *staleness, *recompute); err != nil {
 			fatal(err)
 		}
 		if seedSet {
@@ -163,7 +169,7 @@ func main() {
 		}
 		var err error
 		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
-			*controllers, *ctrlBattery, *planeName, *shards, *staleness,
+			*controllers, *ctrlBattery, *planeName, *shards, *staleness, *recompute,
 			*concurrent, *maxCycles, *verify, *perNode)
 		if err != nil {
 			fatal(err)
@@ -189,6 +195,7 @@ func main() {
 	summary.AddRow("lifetime [cycles]", res.LifetimeCycles)
 	summary.AddRow("TDMA frames", res.Frames)
 	summary.AddRow("routing recomputations", res.RoutingRecomputes)
+	summary.AddRow("recompute split (full/incremental)", fmt.Sprintf("%d/%d", res.FullRecomputes, res.IncrementalRecomputes))
 	if len(res.ShardRecomputes) > 0 {
 		summary.AddRow("control plane", fmt.Sprintf("%s (%d shards)", res.ControlPlane, len(res.ShardRecomputes)))
 		summary.AddRow("per-shard recomputations", fmt.Sprint(res.ShardRecomputes))
@@ -268,7 +275,7 @@ func applyMappingOverride(spec *scenario.Spec, value string) error {
 // names instead of running something other than what the user asked for;
 // inconsistent combinations (e.g. -shards with the centralized plane) are
 // rejected by the spec's eager validation in Strategy.
-func applyControlPlaneOverride(spec *scenario.Spec, plane string, shards, staleness int) error {
+func applyControlPlaneOverride(spec *scenario.Spec, plane string, shards, staleness int, recompute string) error {
 	if plane != "" {
 		kind, err := controlplane.ParseKind(plane)
 		if err != nil {
@@ -285,6 +292,12 @@ func applyControlPlaneOverride(spec *scenario.Spec, plane string, shards, stalen
 	}
 	if staleness > 0 {
 		spec.StalenessFrames = staleness
+	}
+	if recompute != "" {
+		if _, err := controlplane.ParseRecompute(recompute); err != nil {
+			return err
+		}
+		spec.Recompute = recompute
 	}
 	return nil
 }
@@ -310,7 +323,7 @@ func conflictingFlags() []string {
 // preserving etsim's original flag-driven interface.
 func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
 	controllers int, ctrlBattery bool, plane string, shards, staleness int,
-	concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
+	recompute string, concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
 	cfg, err := sim.Default(meshSize)
 	if err != nil {
 		return sim.Config{}, err
@@ -341,7 +354,10 @@ func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
 	if err != nil {
 		return sim.Config{}, err
 	}
-	cfg.Control = controlplane.Config{Kind: kind, Shards: shards, StalenessFrames: staleness}
+	if _, err := controlplane.ParseRecompute(recompute); err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Control = controlplane.Config{Kind: kind, Shards: shards, StalenessFrames: staleness, Recompute: recompute}
 	cfg.ConcurrentJobs = concurrent
 	cfg.MaxCycles = maxCycles
 	cfg.CollectNodeStats = perNode

@@ -21,12 +21,14 @@ type Centralized struct {
 	pool   *tdma.Pool
 	finite bool
 
-	// Routing state: one reusable workspace owns every phase buffer, tables
-	// points at the workspace-internal buffer of the latest plan (handed back
-	// as prev on the next recompute, which writes into the other ping-pong
-	// buffer), and last is the snapshot adopted at the latest recompute (an
-	// engine-owned buffer retained under the FrameReport.Adopted contract).
-	ws         *routing.Workspace
+	// Routing state: one reusable delta workspace owns every phase buffer
+	// (including the previous weight matrix its incremental phase 2 diffs
+	// against), tables points at the workspace-internal buffer of the
+	// latest plan (handed back as prev on the next recompute, which writes
+	// into the other ping-pong buffer), and last is the snapshot adopted at
+	// the latest recompute (an engine-owned buffer retained under the
+	// FrameReport.Adopted contract).
+	ws         *routing.DeltaWorkspace
 	tables     *routing.Tables
 	last       *routing.SystemState
 	recomputes int
@@ -38,11 +40,13 @@ func NewCentralized(deps Deps) (*Centralized, error) {
 	if err != nil {
 		return nil, err
 	}
+	ws := routing.NewDeltaWorkspace()
+	ws.SetMode(deps.Recompute)
 	return &Centralized{
 		deps:   deps,
 		pool:   pool,
 		finite: deps.ControllerBattery != nil,
-		ws:     routing.NewWorkspace(),
+		ws:     ws,
 	}, nil
 }
 
@@ -78,7 +82,7 @@ func (c *Centralized) Frame(frame int64, aliveNodes int, snapshot *routing.Syste
 	c.pool.RestAll(c.deps.TDMA.FramePeriodCycles)
 
 	if changed || c.tables == nil {
-		plan := routing.ComputeInto(c.ws, c.deps.Algorithm, snapshot, c.deps.Destinations, c.tables)
+		plan := c.ws.ComputeInto(c.deps.Algorithm, snapshot, c.deps.Destinations, c.tables)
 		c.tables = plan.Tables
 		c.last = snapshot
 		c.recomputes++
@@ -150,6 +154,12 @@ func (c *Centralized) ShardConsumedPJ(shard int) float64 {
 		return 0
 	}
 	return c.pool.ConsumedPJ()
+}
+
+// RecomputeSplit implements ControlPlane.
+func (c *Centralized) RecomputeSplit() (full, incremental int) {
+	stats := c.ws.Stats()
+	return stats.Full, stats.Incremental
 }
 
 // Pool exposes the underlying controller pool for tests and statistics.

@@ -75,6 +75,26 @@ func ParseKind(name string) (Kind, error) {
 // specify one.
 const DefaultShards = 4
 
+// RecomputeNames lists the accepted recompute-strategy names, for CLI error
+// messages.
+func RecomputeNames() []string {
+	return []string{routing.RecomputeIncremental.String(), routing.RecomputeFull.String()}
+}
+
+// ParseRecompute resolves a recompute-strategy name; "" selects the
+// incremental default. A typo lists the valid names.
+func ParseRecompute(name string) (routing.RecomputeMode, error) {
+	switch name {
+	case "", routing.RecomputeIncremental.String():
+		return routing.RecomputeIncremental, nil
+	case routing.RecomputeFull.String():
+		return routing.RecomputeFull, nil
+	default:
+		return 0, fmt.Errorf("controlplane: unknown recompute strategy %q (want one of: %s)",
+			name, strings.Join(RecomputeNames(), ", "))
+	}
+}
+
 // Config selects and parameterises a control-plane implementation. The zero
 // value selects the centralized controller of the paper.
 type Config struct {
@@ -88,6 +108,12 @@ type Config struct {
 	// (KindSharded only; 0 = 1 = exchange every frame). Between exchanges a
 	// region routes on a stale view of the rest of the fabric.
 	StalenessFrames int
+	// Recompute selects the phase-2 strategy: "" or "incremental" repairs
+	// the shortest-path matrices from the dirty set with automatic full
+	// fallback, "full" always reruns the complete Floyd–Warshall pass.
+	// Both produce byte-identical tables; the knob exists as a baseline
+	// for equivalence checks and scaling measurements.
+	Recompute string
 }
 
 // Validate checks the configuration against a k-node platform.
@@ -100,6 +126,9 @@ func (c Config) Validate(k int) error {
 	}
 	if c.StalenessFrames < 0 {
 		return fmt.Errorf("controlplane: staleness bound must be non-negative, got %d frames", c.StalenessFrames)
+	}
+	if _, err := ParseRecompute(c.Recompute); err != nil {
+		return err
 	}
 	switch c.Kind {
 	case "", KindCentralized:
@@ -137,6 +166,9 @@ type Deps struct {
 	// ControllerBattery builds controller batteries; nil models the
 	// infinite-energy controller of Sec 7.1/7.2.
 	ControllerBattery battery.Factory
+	// Recompute is the phase-2 strategy every workspace runs with; the zero
+	// value is the incremental repair (see routing.RecomputeMode).
+	Recompute routing.RecomputeMode
 }
 
 // FrameReport is what a control plane hands back to the engine for one frame.
@@ -202,6 +234,10 @@ type ControlPlane interface {
 	// ShardConsumedPJ returns the controller energy drained by region
 	// `shard`'s pool so far.
 	ShardConsumedPJ(shard int) float64
+	// RecomputeSplit reports how the plane's recomputations executed so
+	// far: full Floyd–Warshall passes vs incremental dirty-set repairs
+	// (summed across regions for the sharded plane).
+	RecomputeSplit() (full, incremental int)
 }
 
 // New builds the control plane selected by cfg.
@@ -209,6 +245,11 @@ func New(cfg Config, deps Deps) (ControlPlane, error) {
 	if err := cfg.Validate(deps.Graph.NodeCount()); err != nil {
 		return nil, err
 	}
+	mode, err := ParseRecompute(cfg.Recompute)
+	if err != nil {
+		return nil, err
+	}
+	deps.Recompute = mode
 	switch cfg.Kind {
 	case "", KindCentralized:
 		return NewCentralized(deps)

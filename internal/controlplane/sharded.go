@@ -21,7 +21,7 @@ type regionState struct {
 	last    routing.SystemState // view adopted at the last recompute
 	hasLast bool
 
-	ws         *routing.Workspace
+	ws         *routing.DeltaWorkspace
 	tables     *routing.Tables
 	dead       bool
 	recomputes int
@@ -81,7 +81,14 @@ func NewSharded(deps Deps, shards, staleness int) (*Sharded, error) {
 	}
 	for b := range s.shards {
 		lo, hi := b*k/shards, (b+1)*k/shards
-		s.shards[b] = regionState{lo: lo, hi: hi, ws: routing.NewWorkspace()}
+		// Per-region delta workspaces: each region diffs against its own
+		// previous weight matrix, so between exchange frames a region's
+		// recompute dirties only the vertices its fresh local reports
+		// actually moved, and an exchange frame dirties only the remote
+		// vertices whose summaries changed.
+		ws := routing.NewDeltaWorkspace()
+		ws.SetMode(deps.Recompute)
+		s.shards[b] = regionState{lo: lo, hi: hi, ws: ws}
 		for n := lo; n < hi; n++ {
 			s.owner[n] = b
 		}
@@ -161,7 +168,7 @@ func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemSta
 		pool.RestAll(s.deps.TDMA.FramePeriodCycles)
 
 		if changed || sh.tables == nil {
-			plan := routing.ComputeInto(sh.ws, s.deps.Algorithm, &sh.view, s.deps.Destinations, sh.tables)
+			plan := sh.ws.ComputeInto(s.deps.Algorithm, &sh.view, s.deps.Destinations, sh.tables)
 			sh.tables = plan.Tables
 			s.adoptView(sh)
 			sh.recomputes++
@@ -254,6 +261,16 @@ func (s *Sharded) RecomputeCount(shard int) int { return s.shards[shard].recompu
 
 // ShardConsumedPJ implements ControlPlane.
 func (s *Sharded) ShardConsumedPJ(shard int) float64 { return s.regions.ConsumedPJ(shard) }
+
+// RecomputeSplit implements ControlPlane, summed across regions.
+func (s *Sharded) RecomputeSplit() (full, incremental int) {
+	for b := range s.shards {
+		stats := s.shards[b].ws.Stats()
+		full += stats.Full
+		incremental += stats.Incremental
+	}
+	return full, incremental
+}
 
 // Regions exposes the per-shard controller pools for tests and statistics.
 func (s *Sharded) Regions() *tdma.Regions { return s.regions }

@@ -54,34 +54,46 @@ func (sp *ShortestPaths) ComputeFrom(w *Matrix) {
 		}
 	}
 	for n := 0; n < k; n++ {
-		// Row n is never written while pivoting on n (the j == n and i == n
-		// cases are skipped), so hoisting the row slices out of the inner
-		// loop preserves the exact reference arithmetic.
-		distN := sp.dist.Row(n)
-		for i := 0; i < k; i++ {
-			if i == n {
+		sp.pivotPass(n)
+	}
+}
+
+// pivotPass relaxes every ordered pair through the single pivot n, with the
+// smaller-successor tie-breaking of Fig 5. It is the Floyd–Warshall inner
+// iteration, shared verbatim between the full pass (ComputeFrom) and the
+// dirty-vertex repair (DeltaWorkspace) so both produce bit-identical
+// matrices: after pivoting on any vertex set that includes every vertex a
+// changed edge touches, the canonical fixpoint (true distances, minimum
+// first hop among all shortest paths) is restored.
+func (sp *ShortestPaths) pivotPass(n int) {
+	k := sp.n
+	// Row n is never written while pivoting on n (the j == n and i == n
+	// cases are skipped), so hoisting the row slices out of the inner
+	// loop preserves the exact reference arithmetic.
+	distN := sp.dist.Row(n)
+	for i := 0; i < k; i++ {
+		if i == n {
+			continue
+		}
+		distI := sp.dist.Row(i)
+		din := distI[n]
+		if din == Inf {
+			continue
+		}
+		succI := sp.succ[i*k : (i+1)*k]
+		sin := succI[n]
+		for j := 0; j < k; j++ {
+			if j == n || j == i || distN[j] == Inf {
 				continue
 			}
-			distI := sp.dist.Row(i)
-			din := distI[n]
-			if din == Inf {
-				continue
-			}
-			succI := sp.succ[i*k : (i+1)*k]
-			sin := succI[n]
-			for j := 0; j < k; j++ {
-				if j == n || j == i || distN[j] == Inf {
-					continue
-				}
-				through := din + distN[j]
-				switch {
-				case through < distI[j]:
-					distI[j] = through
-					succI[j] = sin
-				case through == distI[j] && sin != topology.Invalid &&
-					(succI[j] == topology.Invalid || sin < succI[j]):
-					succI[j] = sin
-				}
+			through := din + distN[j]
+			switch {
+			case through < distI[j]:
+				distI[j] = through
+				succI[j] = sin
+			case through == distI[j] && sin != topology.Invalid &&
+				(succI[j] == topology.Invalid || sin < succI[j]):
+				succI[j] = sin
 			}
 		}
 	}

@@ -69,18 +69,70 @@ func All() []Spec {
 	return specs
 }
 
-// Table renders the registry as a stats table (the body of
-// `etsim -list-scenarios`).
+// Table renders the whole registry as one flat stats table.
 func Table() *stats.Table {
 	t := stats.NewTable("Registered scenarios", "name", "mesh", "algorithm", "description")
 	for _, sp := range All() {
-		alg := sp.Algorithm
-		if alg == "" {
-			alg = AlgorithmEAR
-		}
-		t.AddRow(sp.Name, fmt.Sprintf("%dx%d", sp.Mesh, sp.Mesh), alg, sp.Description)
+		t.AddRow(sp.Name, fmt.Sprintf("%dx%d", sp.Mesh, sp.Mesh), displayAlgorithm(sp), sp.Description)
 	}
 	return t
+}
+
+// The built-in group names, in listing order. GroupedTables appends any
+// group registered by applications after these, and the unnamed group last.
+const (
+	GroupPaper     = "paper figures"
+	GroupAblation  = "ablations"
+	GroupStress    = "stress & degradation"
+	GroupMC        = "monte-carlo cells"
+	GroupOptimized = "optimized placements"
+	GroupSharded   = "sharded control plane"
+	GroupBigMesh   = "big mesh"
+)
+
+// GroupedTables renders the registry as one stats table per scenario group
+// (the body of `etsim -list-scenarios`): built-in groups first in their
+// canonical order, then application-registered groups in first-seen order,
+// then scenarios without a group under "other".
+func GroupedTables() []*stats.Table {
+	order := []string{GroupPaper, GroupAblation, GroupStress, GroupMC, GroupOptimized, GroupSharded, GroupBigMesh}
+	known := make(map[string]bool, len(order))
+	for _, g := range order {
+		known[g] = true
+	}
+	byGroup := make(map[string][]Spec)
+	for _, sp := range All() {
+		byGroup[sp.Group] = append(byGroup[sp.Group], sp)
+		if sp.Group != "" && !known[sp.Group] {
+			known[sp.Group] = true
+			order = append(order, sp.Group)
+		}
+	}
+	order = append(order, "")
+	var tables []*stats.Table
+	for _, group := range order {
+		specs := byGroup[group]
+		if len(specs) == 0 {
+			continue
+		}
+		title := group
+		if title == "" {
+			title = "other"
+		}
+		t := stats.NewTable(title, "name", "mesh", "algorithm", "description")
+		for _, sp := range specs {
+			t.AddRow(sp.Name, fmt.Sprintf("%dx%d", sp.Mesh, sp.Mesh), displayAlgorithm(sp), sp.Description)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func displayAlgorithm(sp Spec) string {
+	if sp.Algorithm == "" {
+		return AlgorithmEAR
+	}
+	return sp.Algorithm
 }
 
 // The built-in scenarios: the configurations behind the paper's figures and
@@ -90,28 +142,33 @@ func init() {
 	builtins := []Spec{
 		{
 			Name:        "paper-default",
+			Group:       GroupPaper,
 			Description: "Fig 7 baseline: EAR on the 4x4 mesh, thin-film batteries, one infinite-energy controller",
 			Mesh:        4,
 		},
 		{
 			Name:        "paper-sdr",
+			Group:       GroupPaper,
 			Description: "Fig 7 counterpart: shortest-distance routing on the otherwise identical 4x4 platform",
 			Mesh:        4,
 			Algorithm:   AlgorithmSDR,
 		},
 		{
 			Name:        "paper-large",
+			Group:       GroupPaper,
 			Description: "Fig 7 largest point: EAR on the 8x8 mesh (64 nodes)",
 			Mesh:        8,
 		},
 		{
 			Name:        "table2-ideal",
+			Group:       GroupPaper,
 			Description: "Table 2 configuration: EAR with ideal batteries on the 4x4 mesh, compared against Theorem 1",
 			Mesh:        4,
 			Battery:     BatteryIdeal,
 		},
 		{
 			Name:              "fig8-controllers",
+			Group:             GroupPaper,
 			Description:       "Fig 8 midpoint: EAR on the 5x5 mesh with 4 battery-powered controllers",
 			Mesh:              5,
 			Controllers:       4,
@@ -119,6 +176,7 @@ func init() {
 		},
 		{
 			Name:              "dual-controller-finite",
+			Group:             GroupPaper,
 			Description:       "controller redundancy study: 4x4 mesh with 2 battery-powered controllers (Sec 7.3)",
 			Mesh:              4,
 			Controllers:       2,
@@ -126,6 +184,7 @@ func init() {
 		},
 		{
 			Name:             "smartshirt-verified",
+			Group:            GroupPaper,
 			Description:      "the Fig 3a smart shirt: 6x6 mesh carrying real AES blocks, every ciphertext verified",
 			Mesh:             6,
 			VerifyPayload:    true,
@@ -133,12 +192,14 @@ func init() {
 		},
 		{
 			Name:           "stress-burst",
+			Group:          GroupStress,
 			Description:    "heavy traffic: 6x6 mesh with 4 concurrent jobs contending for single-job buffers",
 			Mesh:           6,
 			ConcurrentJobs: 4,
 		},
 		{
 			Name:           "stress-burst-sdr",
+			Group:          GroupStress,
 			Description:    "heavy traffic under SDR: 6x6 mesh, 4 concurrent jobs, no battery awareness",
 			Mesh:           6,
 			Algorithm:      AlgorithmSDR,
@@ -146,6 +207,7 @@ func init() {
 		},
 		{
 			Name:               "degraded-fabric",
+			Group:              GroupStress,
 			Description:        "wear-and-tear: 5x5 mesh with 20% of the woven interconnects broken (seed 1)",
 			Mesh:               5,
 			FailedLinkFraction: 0.2,
@@ -153,6 +215,7 @@ func init() {
 		},
 		{
 			Name:               "degraded-fabric-sdr",
+			Group:              GroupStress,
 			Description:        "wear-and-tear under SDR: the same damaged 5x5 fabric routed without battery awareness",
 			Mesh:               5,
 			Algorithm:          AlgorithmSDR,
@@ -161,18 +224,21 @@ func init() {
 		},
 		{
 			Name:        "ear-blind",
+			Group:       GroupAblation,
 			Description: "ablation A1 endpoint: EAR with Q=1, which ignores battery levels entirely",
 			Mesh:        4,
 			EARQ:        1,
 		},
 		{
 			Name:        "proportional-mapping",
+			Group:       GroupAblation,
 			Description: "ablation A2: 6x6 mesh mapped with the Theorem-1 proportional duplicate counts",
 			Mesh:        6,
 			Mapping:     MappingProportional,
 		},
 		{
 			Name:        "random-mapping",
+			Group:       GroupAblation,
 			Description: "ablation A2 baseline: 5x5 mesh with a seeded random module placement",
 			Mesh:        5,
 			Mapping:     MappingRandom,
@@ -185,6 +251,7 @@ func init() {
 		// distribution with error bars.
 		{
 			Name:        "random-mapping-sweep",
+			Group:       GroupMC,
 			Description: "Monte-Carlo cell: EAR on a 6x6 mesh with random module placement, re-drawn per replicate",
 			Mesh:        6,
 			Mapping:     MappingRandom,
@@ -192,6 +259,7 @@ func init() {
 		},
 		{
 			Name:        "random-mapping-sweep-sdr",
+			Group:       GroupMC,
 			Description: "Monte-Carlo cell: the same random-placement 6x6 mesh under SDR, for replicated EAR/SDR gaps",
 			Mesh:        6,
 			Algorithm:   AlgorithmSDR,
@@ -200,6 +268,7 @@ func init() {
 		},
 		{
 			Name:               "degraded-fabric-mc",
+			Group:              GroupMC,
 			Description:        "Monte-Carlo cell: 5x5 mesh with 15% failed links, the fault pattern re-drawn per replicate",
 			Mesh:               5,
 			FailedLinkFraction: 0.15,
@@ -214,6 +283,7 @@ func init() {
 		// vs fixed-mapping gap.
 		{
 			Name:        "optimized-4x4",
+			Group:       GroupOptimized,
 			Description: "searched placement: EAR on the 4x4 mesh with the etopt-optimized explicit mapping (87 vs 71 jobs checkerboard)",
 			Mesh:        4,
 			Mapping:     MappingExplicit,
@@ -221,6 +291,7 @@ func init() {
 		},
 		{
 			Name:        "optimized-4x4-sdr",
+			Group:       GroupOptimized,
 			Description: "searched placement: SDR on the 4x4 mesh with the etopt-optimized explicit mapping (71 vs 10 jobs checkerboard)",
 			Mesh:        4,
 			Algorithm:   AlgorithmSDR,
@@ -232,6 +303,7 @@ func init() {
 		// StalenessFrames frames (see internal/controlplane).
 		{
 			Name:            "sharded-8x8",
+			Group:           GroupSharded,
 			Description:     "sharded control: EAR on the 8x8 mesh with 4 regional controllers exchanging summaries every 8 frames",
 			Mesh:            8,
 			ControlPlane:    "sharded",
@@ -240,6 +312,7 @@ func init() {
 		},
 		{
 			Name:            "sharded-8x8-stale",
+			Group:           GroupSharded,
 			Description:     "staleness stress: the sharded 8x8 mesh with a 32-frame summary-exchange period",
 			Mesh:            8,
 			ControlPlane:    "sharded",
@@ -248,6 +321,7 @@ func init() {
 		},
 		{
 			Name:              "sharded-finite-controllers",
+			Group:             GroupSharded,
 			Description:       "Fig 8 extension: sharded 6x6 mesh where each of 4 regions runs 2 battery-powered controllers",
 			Mesh:              6,
 			ControlPlane:      "sharded",
@@ -258,12 +332,33 @@ func init() {
 		},
 		{
 			Name:               "degraded-random-mc",
+			Group:              GroupMC,
 			Description:        "Monte-Carlo cell: random placement on a damaged 5x5 fabric, both draws re-seeded per replicate",
 			Mesh:               5,
 			Mapping:            MappingRandom,
 			MappingSeed:        1,
 			FailedLinkFraction: 0.1,
 			FailedLinkSeed:     1,
+		},
+		// Big-mesh scenarios: platforms far beyond the paper's 8x8 ceiling,
+		// tractable because the controller's phase 2 runs as an incremental
+		// dirty-set repair instead of a full Floyd–Warshall pass per change
+		// (see internal/routing.DeltaWorkspace). MaxCycles bounds both so a
+		// run finishes in bounded time; they are sweeps over the early-life
+		// battery-drain regime, not runs to system death.
+		{
+			Name:        "big-mesh-16",
+			Group:       GroupBigMesh,
+			Description: "scaling: EAR on the 16x16 mesh (256 nodes), incremental recompute, bounded to 200 frames",
+			Mesh:        16,
+			MaxCycles:   200 * 1024,
+		},
+		{
+			Name:        "big-mesh-64",
+			Group:       GroupBigMesh,
+			Description: "scaling: EAR on the 64x64 mesh (4096 nodes); one full pass at start-up, incremental repairs after",
+			Mesh:        64,
+			MaxCycles:   50 * 1024,
 		},
 	}
 	for _, sp := range builtins {

@@ -87,6 +87,10 @@ type Spec struct {
 	Name string
 	// Description is the one-line summary shown by `etsim -list-scenarios`.
 	Description string
+	// Group clusters related scenarios in the `etsim -list-scenarios`
+	// listing (e.g. "paper figures", "big mesh"); scenarios with an empty
+	// Group are listed last under "other".
+	Group string
 
 	// Mesh is the square mesh size (the platform has Mesh x Mesh nodes).
 	Mesh int
@@ -128,6 +132,12 @@ type Spec struct {
 	// controllers exchange battery summaries about each other's shards
 	// (0 = 1 = every frame). Invalid with the centralized plane.
 	StalenessFrames int
+	// Recompute selects the controller's phase-2 strategy: "" or
+	// "incremental" (dirty-set repair with automatic full fallback) or
+	// "full" (always the complete Floyd–Warshall pass). The strategies are
+	// byte-identical in every output, so the knob only changes controller
+	// compute time.
+	Recompute string
 	// FiniteControllers attaches thin-film batteries to the controllers
 	// (the Sec 7.3 scenario); false models the infinite-energy controller.
 	FiniteControllers bool
@@ -217,7 +227,7 @@ func (sp Spec) Strategy(extra ...core.Option) (*core.Strategy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
 	}
-	control := controlplane.Config{Kind: kind, Shards: sp.Shards, StalenessFrames: sp.StalenessFrames}
+	control := controlplane.Config{Kind: kind, Shards: sp.Shards, StalenessFrames: sp.StalenessFrames, Recompute: sp.Recompute}
 	// Validate the control-plane configuration eagerly, like every other spec
 	// error, instead of at materialisation time inside a worker.
 	if err := control.Validate(sp.Mesh * sp.Mesh); err != nil {

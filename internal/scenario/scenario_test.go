@@ -166,6 +166,7 @@ func TestSpecRejectsBadValues(t *testing.T) {
 		{Mesh: 4, StalenessFrames: 8},                           // staleness knob on the centralized plane
 		{Mesh: 4, ControlPlane: "sharded", Shards: 17},          // more shards than nodes
 		{Mesh: 4, ControlPlane: "sharded", StalenessFrames: -1}, // negative staleness, sharded
+		{Mesh: 4, Recompute: "eager"},                           // unknown recompute strategy
 	}
 	for _, sp := range cases {
 		if _, err := sp.Strategy(); err == nil {
@@ -204,6 +205,56 @@ func TestShardedScenariosRegistered(t *testing.T) {
 		if strategy.Control.Kind != controlplane.KindSharded || strategy.Control.Shards < 2 {
 			t.Errorf("scenario %q materialised control %+v, want sharded with >=2 shards", name, strategy.Control)
 		}
+	}
+}
+
+// TestBigMeshScenariosRegistered: the big-mesh scaling scenarios must be in
+// the registry, grouped, time-bounded (a 4096-node run to system death is not
+// a scenario anyone wants by accident) and they must materialise eagerly.
+func TestBigMeshScenariosRegistered(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mesh int
+	}{
+		{"big-mesh-16", 16},
+		{"big-mesh-64", 64},
+	} {
+		sp, ok := Lookup(tc.name)
+		if !ok {
+			t.Fatalf("scenario %q missing from the registry", tc.name)
+		}
+		if sp.Mesh != tc.mesh {
+			t.Errorf("scenario %q mesh = %d, want %d", tc.name, sp.Mesh, tc.mesh)
+		}
+		if sp.MaxCycles <= 0 {
+			t.Errorf("scenario %q is unbounded; big-mesh scenarios must cap MaxCycles", tc.name)
+		}
+		if sp.Group != GroupBigMesh {
+			t.Errorf("scenario %q group = %q, want %q", tc.name, sp.Group, GroupBigMesh)
+		}
+		if _, err := sp.Strategy(); err != nil {
+			t.Errorf("scenario %q does not materialise: %v", tc.name, err)
+		}
+	}
+}
+
+// TestGroupedTablesCoverTheRegistry: the grouped listing must contain every
+// registered scenario exactly once, with the built-in groups in canonical
+// order and no empty tables.
+func TestGroupedTablesCoverTheRegistry(t *testing.T) {
+	tables := GroupedTables()
+	total := 0
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Error("GroupedTables rendered an empty group")
+		}
+		total += tb.NumRows()
+	}
+	if want := len(All()); total != want {
+		t.Errorf("grouped tables hold %d scenarios, registry has %d", total, want)
+	}
+	if len(tables) < 2 {
+		t.Fatalf("grouped listing collapsed to %d table(s)", len(tables))
 	}
 }
 

@@ -260,6 +260,9 @@ func (s *Simulator) finish(reason DeathReason) {
 			s.res.ShardRecomputes[i] = s.plane.RecomputeCount(i)
 		}
 	}
+	if s.plane != nil {
+		s.res.FullRecomputes, s.res.IncrementalRecomputes = s.plane.RecomputeSplit()
+	}
 	for _, n := range s.nodes {
 		if n.dead {
 			s.res.Energy.WastedPJ += n.battery.RemainingPJ()

@@ -117,6 +117,13 @@ type Result struct {
 	// control plane (nil for the centralized one, whose count is
 	// RoutingRecomputes).
 	ShardRecomputes []int
+	// FullRecomputes and IncrementalRecomputes split the recomputations by
+	// phase-2 strategy: complete Floyd–Warshall passes vs incremental
+	// dirty-set repairs (summed across regions under the sharded plane).
+	// Both strategies produce byte-identical tables, so every other result
+	// field is independent of the split.
+	FullRecomputes        int
+	IncrementalRecomputes int
 	// DeadlockReports counts deadlock notifications uploaded to the
 	// controller.
 	DeadlockReports int
