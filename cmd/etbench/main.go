@@ -26,12 +26,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, fig8-sharded, opt-gap, scaling, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
+			"which experiment to run: fig2, fig7, table2, fig8, fig7-mc, fig8-mc, fig8-sharded, degradation, opt-gap, scaling, ablation-q, ablation-mapping, ablation-battery, ablation-concurrency, ablation-links or all")
 		sizesFlag     = flag.String("sizes", "4,5,6,7,8", "comma-separated square mesh sizes")
 		ctrlFlag      = flag.String("controllers", "1,2,4,7,10", "comma-separated controller counts for fig8")
 		shardsFlag    = flag.String("shards", "", "comma-separated shard counts for fig8-sharded (1 = centralized baseline; default 1,2,4)")
 		stalenessFlag = flag.String("staleness", "", "comma-separated summary-exchange periods in frames for fig8-sharded (default 1,8,32)")
 		shardCtrlFlag = flag.String("shard-controllers", "", "comma-separated per-pool controller counts for fig8-sharded (0 = one infinite-energy controller; default 0,2)")
+		ratesFlag     = flag.String("fault-rates", "", "comma-separated per-frame fault rates for degradation (0 = fault-free baseline; default 0,0.02,0.05,0.1)")
+		recoveryFlag  = flag.String("recovery-frames", "", "comma-separated fault recovery windows in frames for degradation (default 4,16)")
 		asCSV         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers       = flag.Int("workers", 0, "worker goroutines per sweep (0 = one per CPU, 1 = serial)")
 		charts        = flag.Bool("charts", false, "also render ASCII charts for the figures")
@@ -104,6 +106,18 @@ func main() {
 	shardControllers := experiments.DefaultShardedControllerCounts()
 	if *shardCtrlFlag != "" {
 		if shardControllers, err = cli.ParseInts(*shardCtrlFlag, "per-pool controller count"); err != nil {
+			fatal(err)
+		}
+	}
+	faultRates := experiments.DefaultFaultRates()
+	if *ratesFlag != "" {
+		if faultRates, err = cli.ParseFloats(*ratesFlag, "fault rate"); err != nil {
+			fatal(err)
+		}
+	}
+	recoveryFrames := experiments.DefaultRecoveryFrames()
+	if *recoveryFlag != "" {
+		if recoveryFrames, err = cli.ParseInts(*recoveryFlag, "recovery window"); err != nil {
 			fatal(err)
 		}
 	}
@@ -193,6 +207,24 @@ func main() {
 		emit(experiments.Fig8ShardedTable(rows))
 		if *charts {
 			fmt.Println(experiments.Fig8ShardedChart(rows).Render(60))
+		}
+		ran++
+	}
+	// The degradation study multiplies its mesh axis by the algorithm,
+	// fault-rate and recovery axes, so it is opt-in like the sharded grid; it
+	// runs on its own small default mesh unless -sizes was set explicitly.
+	if wantExplicit("degradation") {
+		degradationSizes := experiments.DefaultDegradationSizes()
+		if sizesSet {
+			degradationSizes = sizes
+		}
+		rows, err := experiments.Degradation(degradationSizes, faultRates, recoveryFrames, *seed, parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.DegradationTable(rows))
+		if *charts {
+			fmt.Println(experiments.DegradationChart(rows).Render(60))
 		}
 		ran++
 	}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/campaign"
 	"repro/internal/controlplane"
+	"repro/internal/faults"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -72,6 +73,7 @@ func main() {
 		shards        = flag.Int("shards", 0, "number of regional controllers under -controlplane sharded (0 = default)")
 		staleness     = flag.Int("staleness", 0, "summary-exchange period in frames between regional controllers (0 = every frame)")
 		recompute     = flag.String("recompute", "", "controller phase-2 strategy: incremental (default) or full Floyd-Warshall; outputs are byte-identical either way; overrides the scenario's when combined with -scenario")
+		faultSpec     = flag.String("faults", "", "runtime fault schedule, e.g. 'link=0.05:8,crash=0.02:12,wear=150,kill=1@40:120,seed=7' (see internal/faults); overrides the scenario's when combined with -scenario")
 		seed          = flag.Uint64("seed", 1, "with -scenario: override the scenario's MappingSeed/FailedLinkSeed (single run) or seed the campaign stream (-replications > 1)")
 		replications  = flag.Int("replications", 1, "with -scenario: run this many seed-stream replicates as a Monte-Carlo campaign and print aggregate statistics")
 	)
@@ -124,6 +126,9 @@ func main() {
 		if err := applyControlPlaneOverride(&spec, *planeName, *shards, *staleness, *recompute); err != nil {
 			fatal(err)
 		}
+		if *faultSpec != "" {
+			spec.Faults = *faultSpec
+		}
 		if seedSet {
 			// Re-draw the scenario's stochastic knobs without editing the
 			// registry: one ad-hoc draw for a single run, the campaign base
@@ -170,7 +175,7 @@ func main() {
 		var err error
 		cfg, err = adHocConfig(*meshSize, *algName, *batteryKind, *earQ,
 			*controllers, *ctrlBattery, *planeName, *shards, *staleness, *recompute,
-			*concurrent, *maxCycles, *verify, *perNode)
+			*faultSpec, *concurrent, *maxCycles, *verify, *perNode)
 		if err != nil {
 			fatal(err)
 		}
@@ -202,6 +207,14 @@ func main() {
 	}
 	summary.AddRow("deadlock reports", res.DeadlockReports)
 	summary.AddRow("dead nodes", res.DeadNodes)
+	if res.FaultsInjected > 0 || res.FaultsRecovered > 0 {
+		summary.AddRow("faults injected / recovered", fmt.Sprintf("%d/%d", res.FaultsInjected, res.FaultsRecovered))
+		summary.AddRow("links broken by wear", res.LinksBroken)
+	}
+	if res.RegionFailovers > 0 {
+		summary.AddRow("region failovers", res.RegionFailovers)
+		summary.AddRow("peak adopted nodes", res.PeakAdoptedNodes)
+	}
 	summary.AddRow("computation energy [pJ]", res.Energy.ComputationPJ)
 	summary.AddRow("communication energy [pJ]", res.Energy.CommunicationPJ)
 	summary.AddRow("control upload energy [pJ]", res.Energy.ControlUploadPJ)
@@ -323,7 +336,7 @@ func conflictingFlags() []string {
 // preserving etsim's original flag-driven interface.
 func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
 	controllers int, ctrlBattery bool, plane string, shards, staleness int,
-	recompute string, concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
+	recompute, faultSpec string, concurrent int, maxCycles int64, verify, perNode bool) (sim.Config, error) {
 	cfg, err := sim.Default(meshSize)
 	if err != nil {
 		return sim.Config{}, err
@@ -358,6 +371,13 @@ func adHocConfig(meshSize int, algName, batteryKind string, earQ float64,
 		return sim.Config{}, err
 	}
 	cfg.Control = controlplane.Config{Kind: kind, Shards: shards, StalenessFrames: staleness, Recompute: recompute}
+	if faultSpec != "" {
+		fsp, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Faults = fsp
+	}
 	cfg.ConcurrentJobs = concurrent
 	cfg.MaxCycles = maxCycles
 	cfg.CollectNodeStats = perNode

@@ -31,6 +31,7 @@ package campaign
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -72,6 +73,16 @@ func (sp Spec) Replicate(i int) scenario.Spec {
 	rep := sp.Scenario
 	rep.MappingSeed = seeds.Mapping
 	rep.FailedLinkSeed = seeds.Faults
+	if rep.Faults != "" {
+		// Re-seed the runtime fault schedule from the Transient channel, so a
+		// chaos campaign draws an independent schedule per replicate. A
+		// malformed clause string is left as-is; it fails in Strategy with the
+		// proper parse error.
+		if fsp, err := faults.ParseSpec(rep.Faults); err == nil {
+			fsp.Seed = seeds.Transient
+			rep.Faults = fsp.String()
+		}
+	}
 	return rep
 }
 

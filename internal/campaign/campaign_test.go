@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -66,6 +67,84 @@ func TestSeedStreamWordsAndChildren(t *testing.T) {
 	// value.
 	if s.Sub(3).Word(7) != s.Sub(3).Word(7) {
 		t.Error("child stream draw is not a pure function of its address")
+	}
+}
+
+// TestTransientChannelNoCollision pins the seed-channel layout: the
+// Transient channel lives on Sub(0), so (a) its words never collide with the
+// Mapping/Faults words of the parent sequence for any realistic campaign
+// size, and (b) adding the channel left the original two-word replicate
+// layout untouched — existing campaigns redraw exactly the seeds they drew
+// before the channel existed.
+func TestTransientChannelNoCollision(t *testing.T) {
+	s := Stream{Base: 42}
+	seen := map[uint64]string{}
+	record := func(v uint64, label string) {
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("seed channels collided: %s == %s", label, prev)
+		}
+		seen[v] = label
+	}
+	for i := 0; i < 2000; i++ {
+		seeds := s.At(i)
+		record(seeds.Mapping, "mapping")
+		record(seeds.Faults, "faults")
+		record(seeds.Transient, "transient")
+		// The layout contract, word by word.
+		if seeds.Mapping != s.Word(uint64(2*i)) || seeds.Faults != s.Word(uint64(2*i+1)) {
+			t.Fatalf("At(%d): Mapping/Faults moved off words 2i/2i+1", i)
+		}
+		if seeds.Transient != s.Sub(transientChannel).Word(uint64(i)) {
+			t.Fatalf("At(%d): Transient moved off Sub(%d)", i, transientChannel)
+		}
+	}
+}
+
+// TestReplicateReseedsFaultSchedule pins the chaos-campaign contract: a
+// replicate's runtime fault schedule is re-seeded from the Transient channel
+// while every other clause survives the round trip, and a malformed clause
+// string is passed through untouched to fail in Strategy with its parse
+// error.
+func TestReplicateReseedsFaultSchedule(t *testing.T) {
+	base := scenario.Spec{
+		Name:   "chaos-mc-test",
+		Mesh:   5,
+		Faults: "link=0.05:8,crash=0.02:12,seed=1",
+	}
+	sp := Spec{Scenario: base, Replications: 10, Seed: 7}
+	r3 := sp.Replicate(3)
+	want := Stream{Base: 7}.At(3).Transient
+	fsp, err := faults.ParseSpec(r3.Faults)
+	if err != nil {
+		t.Fatalf("replicate fault schedule %q does not parse: %v", r3.Faults, err)
+	}
+	if fsp.Seed != want {
+		t.Errorf("replicate fault seed = %d, want Transient draw %d", fsp.Seed, want)
+	}
+	if fsp.LinkRate != 0.05 || fsp.LinkRecoveryFrames != 8 || fsp.NodeRate != 0.02 || fsp.NodeRecoveryFrames != 12 {
+		t.Errorf("re-seeding perturbed non-seed clauses: %q", r3.Faults)
+	}
+	if sp.Replicate(3).Faults != r3.Faults {
+		t.Error("replicate fault schedule not deterministic")
+	}
+	if a, b := sp.Replicate(3).Faults, sp.Replicate(4).Faults; a == b {
+		t.Error("adjacent replicates share a fault-schedule seed")
+	}
+
+	// A scenario without a schedule stays without one.
+	noFaults := sp
+	noFaults.Scenario.Faults = ""
+	if got := noFaults.Replicate(3).Faults; got != "" {
+		t.Errorf("empty schedule became %q", got)
+	}
+	// Malformed schedules pass through for Strategy to reject.
+	malformed := sp
+	malformed.Scenario.Faults = "link=broken"
+	if got := malformed.Replicate(3).Faults; got != "link=broken" {
+		t.Errorf("malformed schedule rewritten to %q", got)
+	}
+	if _, err := malformed.Replicate(3).Strategy(); err == nil {
+		t.Error("malformed schedule accepted by Strategy")
 	}
 }
 

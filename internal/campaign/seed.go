@@ -37,17 +37,29 @@ type Seeds struct {
 	// Mapping seeds the random module-to-node placement
 	// (scenario.Spec.MappingSeed).
 	Mapping uint64
-	// Faults seeds the link-fault pattern (scenario.Spec.FailedLinkSeed).
+	// Faults seeds the static link-fault pattern (scenario.Spec.FailedLinkSeed).
 	Faults uint64
+	// Transient seeds the runtime fault schedule (the seed clause of
+	// scenario.Spec.Faults). It lives on its own Sub-channel of the stream,
+	// so adding it never perturbed the Mapping/Faults words existing
+	// campaigns were already drawing.
+	Transient uint64
 }
 
+// transientChannel is the Sub-stream index reserved for the Transient seed
+// channel. New channels take the next index; the parent stream's words stay
+// reserved for the original two-word replicate layout.
+const transientChannel = 0
+
 // At returns replicate i's seeds: outputs 2i and 2i+1 of the SplitMix64
-// sequence seeded at Base. The result depends only on (Base, i).
+// sequence seeded at Base, plus one word of the reserved Transient
+// sub-channel. The result depends only on (Base, i).
 func (s Stream) At(i int) Seeds {
 	k := uint64(i) * 2
 	return Seeds{
-		Mapping: s.Word(k),
-		Faults:  s.Word(k + 1),
+		Mapping:   s.Word(k),
+		Faults:    s.Word(k + 1),
+		Transient: s.Sub(transientChannel).Word(uint64(i)),
 	}
 }
 

@@ -30,3 +30,23 @@ func ParseInts(csv, what string) ([]int, error) {
 	}
 	return out, nil
 }
+
+// ParseFloats is ParseInts for float axes (fault rates, fractions).
+func ParseFloats(csv, what string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid %s %q: %w", what, part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %ss in %q", what, csv)
+	}
+	return out, nil
+}

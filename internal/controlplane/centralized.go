@@ -27,11 +27,17 @@ type Centralized struct {
 	// latest plan (handed back as prev on the next recompute, which writes
 	// into the other ping-pong buffer), and last is the snapshot adopted at
 	// the latest recompute (an engine-owned buffer retained under the
-	// FrameReport.Adopted contract).
+	// FrameReport.RetainedSnapshot contract).
 	ws         *routing.DeltaWorkspace
 	tables     *routing.Tables
 	last       *routing.SystemState
 	recomputes int
+
+	// down is true while the engine's fault schedule holds the controller
+	// pool in a kill window (FaultRegion): the plane skips its frame work —
+	// no energy, no recompute, no snapshot adoption — and the mesh routes on
+	// the last-known-good tables until the window closes.
+	down bool
 }
 
 // NewCentralized builds the centralized control plane.
@@ -58,6 +64,13 @@ func (c *Centralized) Name() string { return string(KindCentralized) }
 // the pre-refactor engine's processFrame exactly.
 func (c *Centralized) Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport {
 	var rep FrameReport
+	if c.down {
+		// Kill window: the controller hears nothing and does nothing. Its
+		// reference state (c.last) is deliberately left untouched, so the
+		// first frame after the window closes re-runs the change detection
+		// against the pre-fault state and catches up in one recompute.
+		return rep
+	}
 	for id, st := range snapshot.Status {
 		if st.Deadlocked && (c.last == nil || !c.last.Status[id].Deadlocked) {
 			rep.NewDeadlockReports++
@@ -86,7 +99,7 @@ func (c *Centralized) Frame(frame int64, aliveNodes int, snapshot *routing.Syste
 		c.tables = plan.Tables
 		c.last = snapshot
 		c.recomputes++
-		rep.Adopted = true
+		rep.RetainedSnapshot = true
 		rep.Recomputed = true
 		rep.ShardRecomputes = 1
 	}
@@ -99,6 +112,12 @@ func (c *Centralized) Frame(frame int64, aliveNodes int, snapshot *routing.Syste
 // compare.
 func (c *Centralized) stateChanged(snapshot *routing.SystemState) bool {
 	if c.last == nil || len(c.last.Status) != len(snapshot.Status) {
+		return true
+	}
+	if c.last.TopologyEpoch != snapshot.TopologyEpoch {
+		// The fault schedule removed or healed a link since the last
+		// recompute: the weight matrix changed even though no node status
+		// did.
 		return true
 	}
 	needLevels := c.deps.Algorithm.NeedsBatteryInfo()
@@ -161,6 +180,10 @@ func (c *Centralized) RecomputeSplit() (full, incremental int) {
 	stats := c.ws.Stats()
 	return stats.Full, stats.Incremental
 }
+
+// FaultRegion implements ControlPlane: the centralized plane is one region,
+// so any shard index toggles the whole pool's kill window.
+func (c *Centralized) FaultRegion(shard int, down bool) { c.down = down }
 
 // Pool exposes the underlying controller pool for tests and statistics.
 func (c *Centralized) Pool() *tdma.Pool { return c.pool }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/battery"
@@ -66,7 +67,7 @@ func (r *refEngineControl) frame(aliveNodes int, snapshot *routing.SystemState) 
 		plan := routing.ComputeInto(r.ws, r.deps.Algorithm, snapshot, r.deps.Destinations, r.tables)
 		r.tables = plan.Tables
 		r.last = snapshot
-		rep.Adopted = true
+		rep.RetainedSnapshot = true
 		rep.Recomputed = true
 		rep.ShardRecomputes = 1
 	}
@@ -94,7 +95,7 @@ func (r *refEngineControl) stateChanged(snapshot *routing.SystemState) bool {
 // through the same call sequence must match bitwise).
 func compareReports(t *testing.T, frame int64, got, want FrameReport) {
 	t.Helper()
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("frame %d: report = %+v, want %+v", frame, got, want)
 	}
 }
@@ -160,7 +161,7 @@ func driveSequence(t *testing.T, deps Deps, cp *Centralized, ref *refEngineContr
 		if cp.RecomputeCount(0) != 0 && cp.ShardConsumedPJ(0) <= 0 {
 			t.Fatalf("frame %d: recomputed but ShardConsumedPJ = %g", frame, cp.ShardConsumedPJ(0))
 		}
-		if rep.Adopted {
+		if rep.RetainedSnapshot {
 			flip ^= 1
 		}
 
@@ -220,7 +221,7 @@ func TestCentralizedInfinitePoolNeverDies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Double-buffered snapshots, per the FrameReport.Adopted contract.
+	// Double-buffered snapshots, per the FrameReport.RetainedSnapshot contract.
 	master := fullState(deps.Graph, 8)
 	snaps := [2]*routing.SystemState{fullState(deps.Graph, 8), fullState(deps.Graph, 8)}
 	flip := 0
@@ -230,7 +231,7 @@ func TestCentralizedInfinitePoolNeverDies(t *testing.T) {
 		cur := snaps[flip]
 		copy(cur.Status, master.Status)
 		rep := cp.Frame(frame, aliveCount(cur), cur)
-		if rep.Adopted {
+		if rep.RetainedSnapshot {
 			flip ^= 1
 		}
 		if rep.ControllersDead {

@@ -116,6 +116,20 @@ type Config struct {
 	Recompute string
 }
 
+// ShardCount returns the number of regional controllers the configuration
+// will build: 1 for the centralized plane, the (defaulted) shard count for the
+// sharded one. Fault schedules are validated against it before any plane is
+// constructed.
+func (c Config) ShardCount() int {
+	if c.Kind == KindSharded {
+		if c.Shards == 0 {
+			return DefaultShards
+		}
+		return c.Shards
+	}
+	return 1
+}
+
 // Validate checks the configuration against a k-node platform.
 func (c Config) Validate(k int) error {
 	if _, err := ParseKind(string(c.Kind)); err != nil {
@@ -186,14 +200,39 @@ type FrameReport struct {
 	// ShardRecomputes is the number of regional recomputations this frame
 	// (1 for a centralized recompute).
 	ShardRecomputes int
-	// Adopted is true when the control plane retained the snapshot pointer as
-	// its new reference state; the engine must hand a different buffer to the
-	// next Frame call and keep this one intact until the next adopted frame.
-	Adopted bool
+	// RetainedSnapshot is true when the control plane retained the snapshot
+	// pointer as its new reference state; the engine must hand a different
+	// buffer to the next Frame call and keep this one intact until the next
+	// retaining frame.
+	RetainedSnapshot bool
+	// Adopted is the number of nodes currently served by a region other than
+	// their home region — orphans adopted after a fault killed their
+	// controller (sharded plane only; always 0 while no region is
+	// fault-down).
+	Adopted int
+	// Failovers lists the shard hand-offs that happened this frame: every
+	// contiguous node block whose serving region changed, either because its
+	// home region went down (adoption) or because it came back (return).
+	// Nil on quiet frames.
+	Failovers []Failover
 	// ControllersDead is true when every controller battery is exhausted and
 	// the control plane can never produce tables again — the Sec 7.3 system
 	// death. Planes with infinite-energy controllers never set it.
 	ControllersDead bool
+}
+
+// Failover describes one shard hand-off: the Nodes nodes homed in region From
+// are served by region To from this frame on. From == home region, To == the
+// adopter (or the home region itself when the block returns after a restore).
+type Failover struct {
+	// From is the region that previously served the block.
+	From int
+	// To is the region serving it from this frame on.
+	To int
+	// Home is the block's home region (the shard the nodes belong to).
+	Home int
+	// Nodes is the number of nodes handed over.
+	Nodes int
 }
 
 // ControlPlane is the engine's interface to the controller architecture. The
@@ -210,9 +249,18 @@ type ControlPlane interface {
 	// Frame runs the controller side of one TDMA frame: adopt the snapshot,
 	// decide recompute, rebuild tables, account energy and liveness.
 	// aliveNodes is the number of nodes that survived the upload phase;
-	// snapshot is the engine-owned status report (see FrameReport.Adopted for
-	// the buffer-retention contract).
+	// snapshot is the engine-owned status report (see
+	// FrameReport.RetainedSnapshot for the buffer-retention contract).
 	Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport
+
+	// FaultRegion opens (down = true) or closes (down = false) a runtime
+	// fault window on region `shard`, injected by the engine's fault
+	// schedule. A fault-down region stops serving frames: the centralized
+	// plane (shard 0) freezes its last-known-good tables for the whole mesh,
+	// while the sharded plane hands the region's nodes to the nearest
+	// in-service region until the window closes. Distinct from battery
+	// death, which is permanent and never fails over.
+	FaultRegion(shard int, down bool)
 
 	// Table returns the view of node's current routing table; ok is false
 	// when the node has none (dead when its tables were built, or its region
@@ -254,10 +302,7 @@ func New(cfg Config, deps Deps) (ControlPlane, error) {
 	case "", KindCentralized:
 		return NewCentralized(deps)
 	case KindSharded:
-		shards := cfg.Shards
-		if shards == 0 {
-			shards = DefaultShards
-		}
+		shards := cfg.ShardCount()
 		staleness := cfg.StalenessFrames
 		if staleness == 0 {
 			staleness = 1

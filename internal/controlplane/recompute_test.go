@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -57,7 +58,7 @@ func driveTrajectory(t *testing.T, cp ControlPlane, meshSize, frames int) ([]Fra
 	deps := testDeps(meshSize, routing.NewEAR())
 	k := deps.Graph.NodeCount()
 	// Two snapshot buffers so adopted frames can retain one per the
-	// FrameReport.Adopted contract.
+	// FrameReport.RetainedSnapshot contract.
 	snaps := [2]*routing.SystemState{fullState(deps.Graph, 8), fullState(deps.Graph, 8)}
 	cur := 0
 	reports := make([]FrameReport, 0, frames)
@@ -78,7 +79,7 @@ func driveTrajectory(t *testing.T, cp ControlPlane, meshSize, frames int) ([]Fra
 		}
 		rep := cp.Frame(int64(f), aliveCount(snap), snap)
 		reports = append(reports, rep)
-		if rep.Adopted {
+		if rep.RetainedSnapshot {
 			next := cur ^ 1
 			copy(snaps[next].Status, snap.Status)
 			cur = next
@@ -122,7 +123,7 @@ func TestRecomputeModesAreEquivalent(t *testing.T) {
 			repIncr, hopsIncr := driveTrajectory(t, cpIncr, meshSize, frames)
 
 			for i := range repFull {
-				if repFull[i] != repIncr[i] {
+				if !reflect.DeepEqual(repFull[i], repIncr[i]) {
 					t.Fatalf("frame %d report diverged: full=%+v incremental=%+v", i+1, repFull[i], repIncr[i])
 				}
 			}

@@ -15,7 +15,7 @@ import (
 // the view it adopted at its last recompute, and its own routing workspace and
 // table generation.
 type regionState struct {
-	lo, hi int // owned node range [lo, hi)
+	lo, hi int // home node range [lo, hi)
 
 	view    routing.SystemState // current belief about the whole mesh
 	last    routing.SystemState // view adopted at the last recompute
@@ -23,7 +23,8 @@ type regionState struct {
 
 	ws         *routing.DeltaWorkspace
 	tables     *routing.Tables
-	dead       bool
+	dead       bool // battery death: permanent, tables frozen, no failover
+	faultDown  bool // runtime fault window (FaultRegion): nodes failed over
 	recomputes int
 }
 
@@ -51,7 +52,28 @@ type Sharded struct {
 
 	regions *tdma.Regions
 	shards  []regionState
-	owner   []int // NodeID -> shard index
+	home    []int // NodeID -> home shard index (static partition)
+	owner   []int // NodeID -> serving shard index (== home unless failed over)
+
+	// Failover bookkeeping: adopt[h] is the region currently serving home
+	// block h; prevAdopt is last frame's assignment (the diff is the
+	// FrameReport.Failovers list); ownedChanged[b] marks regions whose
+	// served node set changed this frame, forcing a recompute so adopted
+	// nodes get fresh tables immediately. A region is handed over only while
+	// fault-down: battery death keeps the pre-failover frozen-table
+	// behaviour, byte-identical to before runtime faults existed.
+	adopt        []int
+	prevAdopt    []int
+	ownedChanged []bool
+
+	// deadlockCounted is the plane-level edge detector for deadlock reports:
+	// a stuck node is counted once by whichever region serves it when the
+	// report first becomes visible, and the mark survives failover hand-overs
+	// (a per-region detector would re-count the node when its home region
+	// returns with a view predating the report). Cleared when the node
+	// unblocks, so a later, distinct deadlock counts again — exactly the
+	// semantics the per-region comparison had without failover.
+	deadlockCounted []bool
 }
 
 // NewSharded builds a sharded control plane with the given region count and
@@ -72,12 +94,17 @@ func NewSharded(deps Deps, shards, staleness int) (*Sharded, error) {
 		return nil, err
 	}
 	s := &Sharded{
-		deps:      deps,
-		staleness: staleness,
-		finite:    deps.ControllerBattery != nil,
-		regions:   regions,
-		shards:    make([]regionState, shards),
-		owner:     make([]int, k),
+		deps:            deps,
+		staleness:       staleness,
+		finite:          deps.ControllerBattery != nil,
+		regions:         regions,
+		shards:          make([]regionState, shards),
+		home:            make([]int, k),
+		owner:           make([]int, k),
+		adopt:           make([]int, shards),
+		prevAdopt:       make([]int, shards),
+		ownedChanged:    make([]bool, shards),
+		deadlockCounted: make([]bool, k),
 	}
 	for b := range s.shards {
 		lo, hi := b*k/shards, (b+1)*k/shards
@@ -89,7 +116,9 @@ func NewSharded(deps Deps, shards, staleness int) (*Sharded, error) {
 		ws := routing.NewDeltaWorkspace()
 		ws.SetMode(deps.Recompute)
 		s.shards[b] = regionState{lo: lo, hi: hi, ws: ws}
+		s.adopt[b], s.prevAdopt[b] = b, b
 		for n := lo; n < hi; n++ {
+			s.home[n] = b
 			s.owner[n] = b
 		}
 	}
@@ -103,6 +132,7 @@ func (s *Sharded) Name() string { return string(KindSharded) }
 // region, in shard order for determinism.
 func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemState) FrameReport {
 	var rep FrameReport
+	s.reassignOwners(&rep)
 	// Summary-exchange frames: the first frame always synchronises (every
 	// region must learn the initial state), then every staleness-th frame
 	// after it.
@@ -115,27 +145,59 @@ func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemSta
 		if sh.dead {
 			continue
 		}
-		// Refresh the region's view: its own shard every frame, the rest of
-		// the mesh only on exchange frames.
+		if sh.faultDown {
+			// Kill window: the region serves nothing; its batteries recover
+			// while the pool is off. Its nodes were handed to an in-service
+			// region by reassignOwners above.
+			s.regions.Pool(b).RestAll(s.deps.TDMA.FramePeriodCycles)
+			continue
+		}
+		// Refresh the region's view: the shards it currently serves (its own,
+		// plus any adopted home blocks) every frame — a serving region hears
+		// the upload slots of every node it owns — and the rest of the mesh
+		// only on exchange frames.
 		if sh.view.Status == nil {
 			sh.view = routing.SystemState{Graph: snapshot.Graph, Levels: snapshot.Levels}
 			sh.view.Status = make([]routing.NodeStatus, len(snapshot.Status))
 		}
+		// Topology changes (fault-injected link removals and heals) are
+		// physical, not reported state: every region sees them immediately.
+		sh.view.TopologyEpoch = snapshot.TopologyEpoch
 		if exchange {
 			copy(sh.view.Status, snapshot.Status)
 		} else {
-			copy(sh.view.Status[sh.lo:sh.hi], snapshot.Status[sh.lo:sh.hi])
-		}
-
-		// Deadlock notifications are uploaded by the stuck node, so each is
-		// observed (exactly once) by the region that owns the node.
-		for n := sh.lo; n < sh.hi; n++ {
-			if sh.view.Status[n].Deadlocked && (!sh.hasLast || !sh.last.Status[n].Deadlocked) {
-				rep.NewDeadlockReports++
+			for h := range s.shards {
+				if s.adopt[h] == b {
+					lo, hi := s.shards[h].lo, s.shards[h].hi
+					copy(sh.view.Status[lo:hi], snapshot.Status[lo:hi])
+				}
 			}
 		}
 
-		changed := s.regionChanged(sh, needLevels)
+		// Deadlock notifications are uploaded by the stuck node, so each is
+		// observed (exactly once) by the region currently serving the node —
+		// the adopter, for an orphaned node mid-failover. The plane-level
+		// edge detector keeps "exactly once" across hand-overs.
+		for h := range s.shards {
+			if s.adopt[h] != b {
+				continue
+			}
+			for n := s.shards[h].lo; n < s.shards[h].hi; n++ {
+				if sh.view.Status[n].Deadlocked {
+					if !s.deadlockCounted[n] {
+						s.deadlockCounted[n] = true
+						rep.NewDeadlockReports++
+					}
+				} else {
+					s.deadlockCounted[n] = false
+				}
+			}
+		}
+
+		// A change in the served node set (a block adopted or returned)
+		// forces a recompute even if no status moved: the new nodes must get
+		// this region's tables immediately.
+		changed := s.regionChanged(sh, needLevels) || s.ownedChanged[b]
 
 		// The regional controller still runs the routing phases over the full
 		// mesh (routes cross shard boundaries), so a recompute costs the same
@@ -146,9 +208,14 @@ func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemSta
 		downloadPJ := 0.0
 		if changed {
 			aliveInShard := 0
-			for n := sh.lo; n < sh.hi; n++ {
-				if sh.view.Status[n].Alive {
-					aliveInShard++
+			for h := range s.shards {
+				if s.adopt[h] != b {
+					continue
+				}
+				for n := s.shards[h].lo; n < s.shards[h].hi; n++ {
+					if sh.view.Status[n].Alive {
+						aliveInShard++
+					}
 				}
 			}
 			downloadPJ = s.deps.TDMA.DownloadEnergyPerNodePJ() * float64(aliveInShard)
@@ -183,10 +250,65 @@ func (s *Sharded) Frame(frame int64, aliveNodes int, snapshot *routing.SystemSta
 	return rep
 }
 
+// reassignOwners recomputes the shard-failover assignment as a pure function
+// of the current fault/death flags: every home block is served by its own
+// region while that region is in service, and by the nearest in-service
+// region (smallest index distance, ties to the lower index) while it is
+// fault-down. Battery-dead regions neither hand over their nodes (frozen
+// tables, the pre-failover contract) nor adopt anyone else's. The diff
+// against the previous assignment becomes the report's Failovers list.
+func (s *Sharded) reassignOwners(rep *FrameReport) {
+	inService := func(b int) bool { return !s.shards[b].dead && !s.shards[b].faultDown }
+	for b := range s.shards {
+		s.ownedChanged[b] = false
+		switch {
+		case !s.shards[b].faultDown:
+			s.adopt[b] = b
+		default:
+			best := b
+			bestDist := len(s.shards) + 1
+			for r := range s.shards {
+				if !inService(r) {
+					continue
+				}
+				d := r - b
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDist {
+					best, bestDist = r, d
+				}
+			}
+			s.adopt[b] = best
+		}
+	}
+	for h := range s.shards {
+		if s.adopt[h] != s.prevAdopt[h] {
+			sh := &s.shards[h]
+			rep.Failovers = append(rep.Failovers, Failover{
+				From: s.prevAdopt[h], To: s.adopt[h], Home: h, Nodes: sh.hi - sh.lo,
+			})
+			s.ownedChanged[s.adopt[h]] = true
+			s.ownedChanged[s.prevAdopt[h]] = true
+			for n := sh.lo; n < sh.hi; n++ {
+				s.owner[n] = s.adopt[h]
+			}
+			s.prevAdopt[h] = s.adopt[h]
+		}
+		if s.adopt[h] != h {
+			rep.Adopted += s.shards[h].hi - s.shards[h].lo
+		}
+	}
+}
+
 // regionChanged reports whether the region's current view differs from the
 // view adopted at its last recompute in any way the algorithm cares about.
 func (s *Sharded) regionChanged(sh *regionState, needLevels bool) bool {
 	if !sh.hasLast || len(sh.last.Status) != len(sh.view.Status) {
+		return true
+	}
+	if sh.last.TopologyEpoch != sh.view.TopologyEpoch {
+		// A link vanished or healed since this region's last recompute.
 		return true
 	}
 	for n, st := range sh.view.Status {
@@ -203,17 +325,21 @@ func (s *Sharded) regionChanged(sh *regionState, needLevels bool) bool {
 
 // adoptView records the region's current view as its last-recomputed
 // reference, reusing the region-owned buffer. The sharded plane never retains
-// the engine's snapshot buffer, so it never sets FrameReport.Adopted.
+// the engine's snapshot buffer, so it never sets
+// FrameReport.RetainedSnapshot.
 func (s *Sharded) adoptView(sh *regionState) {
 	if sh.last.Status == nil {
 		sh.last = routing.SystemState{Graph: sh.view.Graph, Levels: sh.view.Levels}
 		sh.last.Status = make([]routing.NodeStatus, len(sh.view.Status))
 	}
+	sh.last.TopologyEpoch = sh.view.TopologyEpoch
 	copy(sh.last.Status, sh.view.Status)
 	sh.hasLast = true
 }
 
-// ownerOf returns the region owning node, or nil for out-of-range IDs.
+// ownerOf returns the region currently serving node — its home region, or
+// its adopter while the home region is fault-down — or nil for out-of-range
+// IDs.
 func (s *Sharded) ownerOf(node topology.NodeID) *regionState {
 	if int(node) < 0 || int(node) >= len(s.owner) {
 		return nil
@@ -272,10 +398,30 @@ func (s *Sharded) RecomputeSplit() (full, incremental int) {
 	return full, incremental
 }
 
+// FaultRegion implements ControlPlane: it opens or closes a runtime kill
+// window on one region. The next Frame call reassigns the region's nodes to
+// the nearest in-service region (down) or back home (up).
+func (s *Sharded) FaultRegion(shard int, down bool) {
+	if shard >= 0 && shard < len(s.shards) {
+		s.shards[shard].faultDown = down
+	}
+}
+
+// ServingRegion returns the index of the region currently serving node
+// (exposed for tests and the degradation metrics).
+func (s *Sharded) ServingRegion(node topology.NodeID) int {
+	if int(node) < 0 || int(node) >= len(s.owner) {
+		return -1
+	}
+	return s.owner[node]
+}
+
 // Regions exposes the per-shard controller pools for tests and statistics.
 func (s *Sharded) Regions() *tdma.Regions { return s.regions }
 
-// OwnedRange returns the contiguous node range [lo, hi) owned by shard.
+// OwnedRange returns the contiguous home node range [lo, hi) of shard (the
+// static partition; runtime failover may temporarily serve it from another
+// region).
 func (s *Sharded) OwnedRange(shard int) (lo, hi int) {
 	return s.shards[shard].lo, s.shards[shard].hi
 }

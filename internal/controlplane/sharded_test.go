@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/battery"
@@ -46,8 +47,8 @@ func TestShardedPartitionCoversMesh(t *testing.T) {
 // TestShardedSingleShardMatchesCentralized: with one shard and summary
 // exchange every frame, the sharded plane sees exactly what the centralized
 // one sees, so its frame reports and recompute schedule must coincide (only
-// Adopted differs: the sharded plane copies instead of retaining the engine
-// buffer).
+// RetainedSnapshot differs: the sharded plane copies instead of retaining the
+// engine buffer).
 func TestShardedSingleShardMatchesCentralized(t *testing.T) {
 	deps := testDeps(4, routing.NewEAR())
 	central, err := NewCentralized(deps)
@@ -68,11 +69,11 @@ func TestShardedSingleShardMatchesCentralized(t *testing.T) {
 		alive := aliveCount(cur)
 		cRep := central.Frame(frame, alive, cur)
 		sRep := sharded.Frame(frame, alive, cur)
-		if cRep.Adopted {
+		if cRep.RetainedSnapshot {
 			flip ^= 1
 		}
-		cRep.Adopted, sRep.Adopted = false, false
-		if cRep != sRep {
+		cRep.RetainedSnapshot, sRep.RetainedSnapshot = false, false
+		if !reflect.DeepEqual(cRep, sRep) {
 			t.Fatalf("frame %d: sharded(1) report %+v, centralized %+v", frame, sRep, cRep)
 		}
 		k := deps.Graph.NodeCount()
@@ -217,7 +218,7 @@ func TestShardedDeterminism(t *testing.T) {
 		alive := aliveCount(snap)
 		repA := a.Frame(frame, alive, snap)
 		repB := b.Frame(frame, alive, snap)
-		if repA != repB {
+		if !reflect.DeepEqual(repA, repB) {
 			t.Fatalf("frame %d: reports diverged: %+v vs %+v", frame, repA, repB)
 		}
 	}

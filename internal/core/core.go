@@ -20,6 +20,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/controlplane"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -70,6 +71,10 @@ type Strategy struct {
 	// the deterministic fault pattern.
 	FailedLinkFraction float64
 	FailedLinkSeed     uint64
+	// Faults is the deterministic runtime fault schedule applied during the
+	// simulation (transient link faults, wear breaks, node crashes,
+	// controller-region kill windows); the zero value injects nothing.
+	Faults faults.Spec
 }
 
 // Option mutates a Strategy during construction.
@@ -145,6 +150,13 @@ func WithFailedLinks(fraction float64, seed uint64) Option {
 	}
 }
 
+// WithFaults attaches a deterministic runtime fault schedule: the simulation
+// injects (and recovers) link, node and controller-region faults mid-run, at
+// TDMA frame boundaries, as a pure function of the schedule and its seed.
+func WithFaults(spec faults.Spec) Option {
+	return func(s *Strategy) { s.Faults = spec }
+}
+
 // New builds a strategy for an n x n mesh with the paper's defaults: AES-128,
 // checkerboard mapping, EAR routing, thin-film node batteries and a single
 // infinite-energy controller, then applies the options.
@@ -196,7 +208,10 @@ func (s *Strategy) Config() (sim.Config, error) {
 	graph := s.Mesh.Graph
 	if s.FailedLinkFraction > 0 {
 		graph = graph.Clone()
-		if _, err := topology.FailLinks(graph, s.FailedLinkFraction, s.FailedLinkSeed); err != nil {
+		// A shortfall (the fabric could not shed the full target without
+		// partitioning) is deliberately tolerated here: near-saturation
+		// fractions damage the garment as much as connectivity allows.
+		if _, _, err := topology.FailLinks(graph, s.FailedLinkFraction, s.FailedLinkSeed); err != nil {
 			return sim.Config{}, err
 		}
 	}
@@ -226,6 +241,7 @@ func (s *Strategy) Config() (sim.Config, error) {
 		CollectNodeStats:   s.CollectNodeStats,
 		MaxCycles:          s.MaxCycles,
 		Observers:          s.Observers,
+		Faults:             s.Faults,
 	}
 	if ear, ok := s.Algorithm.(routing.EAR); ok && ear.Params.Levels > 0 {
 		cfg.BatteryLevels = ear.Params.Levels

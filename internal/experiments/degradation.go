@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Degradation study: EAR vs SDR under runtime fault injection
+// ---------------------------------------------------------------------------
+
+// DefaultDegradationSizes is the mesh axis of the degradation grid: one
+// moderate fabric, so the fault-rate and recovery axes dominate the row count.
+func DefaultDegradationSizes() []int { return []int{6} }
+
+// DefaultFaultRates is the per-frame fault-probability axis of the
+// degradation grid. Rate 0 is the fault-free baseline every sweep carries.
+func DefaultFaultRates() []float64 { return []float64{0, 0.02, 0.05, 0.1} }
+
+// DefaultRecoveryFrames is the fault-duration axis of the degradation grid,
+// in TDMA frames.
+func DefaultRecoveryFrames() []int { return []int{4, 16} }
+
+// DegradationRow is one (mesh, algorithm, fault rate, recovery) point of the
+// degradation study.
+type DegradationRow struct {
+	Mesh      int
+	Algorithm string
+	// FaultRate is the per-frame probability of drawing a transient link
+	// fault, and equally of drawing a node crash (the two channels run at the
+	// same rate). 0 is the fault-free baseline.
+	FaultRate float64
+	// RecoveryFrames is how long each injected fault stays open.
+	RecoveryFrames int
+	Jobs           int
+	JobsLost       int
+	// JobsDegraded is the subset of Jobs completed while at least one fault
+	// window was open; FramesDegraded counts the frames spent in that state.
+	JobsDegraded   int
+	FramesDegraded int64
+	// Retention is degraded throughput over healthy throughput (jobs/frame),
+	// the headline graceful-degradation figure (0 for the baseline rows,
+	// which never enter the degraded state).
+	Retention float64
+	// MeanRecovery is the observed mean time-to-recover in frames.
+	MeanRecovery float64
+	Lifetime     int64
+	Reason       string
+}
+
+// degradationCell is one cell of the flattened sweep grid.
+type degradationCell struct {
+	mesh           int
+	alg            string
+	rate           float64
+	recoveryFrames int
+}
+
+// Degradation sweeps EAR and SDR across the fault-rate and recovery-time
+// axes of the runtime fault injector: every non-baseline cell draws
+// transient link faults and node crashes at the given per-frame rate, each
+// healing after the given recovery window, from the deterministic schedule
+// seeded by seed. A trace.Degradation collector rides along in every cell,
+// so the rows carry throughput-retention and time-to-recover figures next
+// to the raw job counts. Rate 0 collapses the recovery axis and runs the
+// fault-free baseline. The grid is evaluated in parallel, one cell per
+// simulation; rows are byte-identical at every worker count.
+func Degradation(sizes []int, rates []float64, recoveries []int, seed uint64, opts ...Option) ([]DegradationRow, error) {
+	var cells []degradationCell
+	for _, n := range sizes {
+		for _, alg := range []string{scenario.AlgorithmEAR, scenario.AlgorithmSDR} {
+			for _, rate := range rates {
+				if rate == 0 {
+					// Fault-free baseline: the recovery axis is meaningless.
+					cells = append(cells, degradationCell{mesh: n, alg: alg})
+					continue
+				}
+				for _, rec := range recoveries {
+					cells = append(cells, degradationCell{mesh: n, alg: alg, rate: rate, recoveryFrames: rec})
+				}
+			}
+		}
+	}
+	return runner.Map(newPool(opts), cells, func(_ int, cell degradationCell) (DegradationRow, error) {
+		sp := scenario.Spec{Mesh: cell.mesh, Algorithm: cell.alg}
+		if cell.rate > 0 {
+			sp.Faults = fmt.Sprintf("link=%v:%d,crash=%v:%d,seed=%d",
+				cell.rate, cell.recoveryFrames, cell.rate, cell.recoveryFrames, seed)
+		}
+		deg := &trace.Degradation{}
+		res, err := sp.Simulate(deg)
+		if err != nil {
+			return DegradationRow{}, err
+		}
+		return DegradationRow{
+			Mesh:           cell.mesh,
+			Algorithm:      cell.alg,
+			FaultRate:      cell.rate,
+			RecoveryFrames: cell.recoveryFrames,
+			Jobs:           res.JobsCompleted,
+			JobsLost:       res.JobsLost,
+			JobsDegraded:   deg.JobsDegraded(),
+			FramesDegraded: deg.FramesDegraded(),
+			Retention:      deg.Retention(),
+			MeanRecovery:   deg.Recovery().Mean(),
+			Lifetime:       res.LifetimeCycles,
+			Reason:         string(res.Reason),
+		}, nil
+	})
+}
+
+// DegradationTable renders the degradation sweep, one row per grid cell.
+func DegradationTable(rows []DegradationRow) *stats.Table {
+	t := stats.NewTable("Degradation under runtime faults (transient links + node crashes, per-frame rate)",
+		"mesh", "alg", "fault rate", "recovery [frames]", "jobs", "lost", "jobs degraded", "frames degraded", "retention", "mean recover [frames]", "lifetime", "death")
+	for _, r := range rows {
+		rec, ret, mrec := "-", "-", "-"
+		if r.FaultRate > 0 {
+			rec = fmt.Sprintf("%d", r.RecoveryFrames)
+			ret = fmt.Sprintf("%.3f", r.Retention)
+			mrec = fmt.Sprintf("%.1f", r.MeanRecovery)
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", r.Mesh, r.Mesh), r.Algorithm,
+			fmt.Sprintf("%.2f", r.FaultRate), rec, r.Jobs, r.JobsLost,
+			r.JobsDegraded, r.FramesDegraded, ret, mrec, r.Lifetime, r.Reason)
+	}
+	return t
+}
+
+// DegradationChart renders jobs completed against the fault rate, one series
+// per (algorithm, recovery window).
+func DegradationChart(rows []DegradationRow) *stats.Chart {
+	c := stats.NewChart("Degradation: jobs completed vs fault rate", "per-frame fault rate", "# of jobs")
+	series := map[string]*stats.Series{}
+	for _, r := range rows {
+		key := r.Algorithm
+		if r.FaultRate > 0 {
+			key = fmt.Sprintf("%s rec=%d", r.Algorithm, r.RecoveryFrames)
+		}
+		s, ok := series[key]
+		if !ok {
+			s = c.AddSeries(key)
+			series[key] = s
+		}
+		s.Add(r.FaultRate, float64(r.Jobs))
+	}
+	return c
+}

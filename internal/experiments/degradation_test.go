@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// degradationTestGrid keeps the sweep cheap: one small mesh, one non-zero
+// fault rate plus the baseline, one recovery window — 4 cells total.
+func degradationTestGrid() ([]int, []float64, []int) {
+	return []int{5}, []float64{0, 0.05}, []int{6}
+}
+
+// TestDegradationDeterministicAcrossWorkers is the fault-sweep entry in the
+// determinism suite: the fault schedule is a pure function of (spec, seed),
+// so the rows — including the observer-derived retention and recovery
+// figures — and the rendered table must be byte-identical whether cells run
+// serially or fan out.
+func TestDegradationDeterministicAcrossWorkers(t *testing.T) {
+	sizes, rates, recs := degradationTestGrid()
+	ref, err := Degradation(sizes, rates, recs, 7, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable := DegradationTable(ref).Render()
+	for _, workers := range testWorkerCounts() {
+		rows, err := Degradation(sizes, rates, recs, 7, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rows) != len(ref) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), len(ref))
+		}
+		for i := range ref {
+			if rows[i] != ref[i] {
+				t.Errorf("workers=%d: row %d = %+v, want %+v", workers, i, rows[i], ref[i])
+			}
+		}
+		if table := DegradationTable(rows).Render(); table != refTable {
+			t.Errorf("workers=%d: rendered table differs from the serial run", workers)
+		}
+	}
+}
+
+// TestDegradationGridShape checks the baseline collapse: rate 0 contributes
+// one cell per (mesh, algorithm) with the recovery axis folded away, and the
+// faulted cells actually enter the degraded state.
+func TestDegradationGridShape(t *testing.T) {
+	sizes, rates, recs := degradationTestGrid()
+	rows, err := Degradation(sizes, rates, recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms x (1 baseline + 1 rate x 1 recovery) = 4 rows.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.FaultRate == 0 {
+			if r.RecoveryFrames != 0 || r.FramesDegraded != 0 || r.Retention != 0 {
+				t.Errorf("baseline row carries fault state: %+v", r)
+			}
+			continue
+		}
+		if r.FramesDegraded == 0 {
+			t.Errorf("faulted row never entered the degraded state: %+v", r)
+		}
+		if r.MeanRecovery <= 0 {
+			t.Errorf("faulted row observed no recoveries: %+v", r)
+		}
+	}
+}

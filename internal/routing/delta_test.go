@@ -85,7 +85,7 @@ func TestDeltaMatchesFullRecompute(t *testing.T) {
 		for _, alg := range []Algorithm{SDR{}, NewEAR()} {
 			t.Run(fmt.Sprintf("%dx%d/%s", meshSize, meshSize, alg.Name()), func(t *testing.T) {
 				mesh := topology.MustMesh(meshSize, meshSize, topology.DefaultSpacingCM)
-				if _, err := topology.FailLinks(mesh.Graph, 0.1, uint64(meshSize)); err != nil {
+				if _, _, err := topology.FailLinks(mesh.Graph, 0.1, uint64(meshSize)); err != nil {
 					t.Fatal(err)
 				}
 				rng := rand.New(rand.NewSource(int64(meshSize)*41 + int64(len(alg.Name()))))

@@ -217,7 +217,7 @@ func TestDenseComputeMatchesMapReference(t *testing.T) {
 				mesh := topology.MustMesh(meshSize, meshSize, topology.DefaultSpacingCM)
 				rng := rand.New(rand.NewSource(int64(meshSize)*31 + int64(len(alg.Name()))))
 				// Link faults: remove ~10% of the woven interconnects.
-				if _, err := topology.FailLinks(mesh.Graph, 0.1, uint64(meshSize)); err != nil {
+				if _, _, err := topology.FailLinks(mesh.Graph, 0.1, uint64(meshSize)); err != nil {
 					t.Fatal(err)
 				}
 				k := mesh.Graph.NodeCount()

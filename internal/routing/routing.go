@@ -62,6 +62,12 @@ type SystemState struct {
 	Status []NodeStatus
 	// Levels is the number of quantisation levels used for BatteryLevel.
 	Levels int
+	// TopologyEpoch counts runtime mutations of Graph (links removed by
+	// fault injection, links healed after a transient fault). The controller
+	// treats an epoch change like any other reported-state change and
+	// recomputes; the zero value — a topology that never changes mid-run —
+	// reproduces the pre-fault-injection behaviour exactly.
+	TopologyEpoch uint64
 }
 
 // StatusOf returns node id's reported status; out-of-range ids report the
@@ -80,7 +86,7 @@ func (s *SystemState) Alive(id topology.NodeID) bool { return s.StatusOf(id).Ali
 // routing decision; the controller only re-runs the routing algorithm when
 // the reported information changed (Sec 6).
 func (s *SystemState) Equal(o *SystemState) bool {
-	if o == nil || s.Levels != o.Levels || len(s.Status) != len(o.Status) {
+	if o == nil || s.Levels != o.Levels || s.TopologyEpoch != o.TopologyEpoch || len(s.Status) != len(o.Status) {
 		return false
 	}
 	for i, st := range s.Status {
@@ -93,7 +99,7 @@ func (s *SystemState) Equal(o *SystemState) bool {
 
 // Clone returns a deep copy of the snapshot.
 func (s *SystemState) Clone() *SystemState {
-	c := &SystemState{Graph: s.Graph, Levels: s.Levels, Status: make([]NodeStatus, len(s.Status))}
+	c := &SystemState{Graph: s.Graph, Levels: s.Levels, TopologyEpoch: s.TopologyEpoch, Status: make([]NodeStatus, len(s.Status))}
 	copy(c.Status, s.Status)
 	return c
 }

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNoFaultTrajectoryPins pins the fault-free trajectories of both control
+// planes to exact values. The fault subsystem threads through the engine's
+// frame loop, routing dead-end handling and both planes, so this is the
+// regression guard for the PR's core promise: an empty schedule reproduces
+// the pre-fault-subsystem outputs byte for byte. If a change shifts any of
+// these numbers, it changed the fault-free simulation — not just the fault
+// path — and needs a fresh justification.
+func TestNoFaultTrajectoryPins(t *testing.T) {
+	pins := []struct {
+		name       string
+		jobs, lost int
+		lifetime   int64
+		frames     int64
+		recomputes int
+		deadlocks  int
+		reason     sim.DeathReason
+	}{
+		{"paper-default", 71, 4, 102201, 100, 99, 0, sim.DeathModuleExtinct},
+		{"sharded-8x8", 331, 21, 495345, 484, 473, 3, sim.DeathUnreachable},
+		{"sharded-finite-controllers", 18, 1, 40960, 41, 20, 0, sim.DeathControllersDead},
+	}
+	for _, pin := range pins {
+		spec, ok := Lookup(pin.name)
+		if !ok {
+			t.Fatalf("%s not registered", pin.name)
+		}
+		res, err := spec.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.JobsCompleted != pin.jobs || res.JobsLost != pin.lost ||
+			res.LifetimeCycles != pin.lifetime || res.Frames != pin.frames ||
+			res.RoutingRecomputes != pin.recomputes || res.DeadlockReports != pin.deadlocks ||
+			res.Reason != pin.reason {
+			t.Errorf("%s trajectory moved: jobs=%d lost=%d life=%d frames=%d recomputes=%d deadlocks=%d reason=%s, want jobs=%d lost=%d life=%d frames=%d recomputes=%d deadlocks=%d reason=%s",
+				pin.name, res.JobsCompleted, res.JobsLost, res.LifetimeCycles, res.Frames, res.RoutingRecomputes, res.DeadlockReports, res.Reason,
+				pin.jobs, pin.lost, pin.lifetime, pin.frames, pin.recomputes, pin.deadlocks, pin.reason)
+		}
+		if res.FaultsInjected != 0 || res.FaultsRecovered != 0 || res.RegionFailovers != 0 {
+			t.Errorf("%s: fault counters nonzero without a schedule: %+v", pin.name, res)
+		}
+	}
+}
+
+// TestSeedOnlyScheduleIsByteIdentical: a schedule carrying only a seed can
+// never fire, so the engine must not even enable the subsystem — the result
+// is identical in every field, not merely statistically close.
+func TestSeedOnlyScheduleIsByteIdentical(t *testing.T) {
+	base := Spec{Mesh: 5}
+	ref, err := base.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := base
+	seeded.Faults = "seed=12345"
+	got, err := seeded.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("seed-only schedule changed the run:\n%+v\nvs\n%+v", got, ref)
+	}
+}
+
+// TestChaosScenariosExerciseTheFaultChannels runs the cheap chaos scenarios
+// and checks each actually drives the channel it advertises.
+func TestChaosScenariosExerciseTheFaultChannels(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T, res sim.Result)
+	}{
+		{"chaos-links", func(t *testing.T, res sim.Result) {
+			if res.FaultsInjected == 0 || res.FaultsRecovered == 0 {
+				t.Errorf("no transient link faults: %d injected, %d recovered", res.FaultsInjected, res.FaultsRecovered)
+			}
+		}},
+		{"chaos-crashes", func(t *testing.T, res sim.Result) {
+			if res.FaultsInjected == 0 || res.FaultsRecovered == 0 {
+				t.Errorf("no node crashes: %d injected, %d recovered", res.FaultsInjected, res.FaultsRecovered)
+			}
+		}},
+		{"chaos-wear", func(t *testing.T, res sim.Result) {
+			if res.LinksBroken == 0 {
+				t.Error("wear scenario broke no links")
+			}
+		}},
+		{"chaos-blackout", func(t *testing.T, res sim.Result) {
+			if res.FaultsInjected == 0 || res.FaultsRecovered == 0 {
+				t.Errorf("blackout window never opened/closed: %d injected, %d recovered", res.FaultsInjected, res.FaultsRecovered)
+			}
+		}},
+		{"chaos-region-failover", func(t *testing.T, res sim.Result) {
+			// One adoption when the region dies, one hand-back when it
+			// returns; the adopter serves the whole 16-node home block.
+			if res.RegionFailovers != 2 {
+				t.Errorf("region failovers = %d, want 2 (adoption + hand-back)", res.RegionFailovers)
+			}
+			if res.PeakAdoptedNodes != 16 {
+				t.Errorf("peak adopted nodes = %d, want 16 (one 8x8/4 home block)", res.PeakAdoptedNodes)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, ok := Lookup(c.name)
+			if !ok {
+				t.Fatalf("%s not registered", c.name)
+			}
+			res, err := spec.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.check(t, res)
+		})
+	}
+}
+
+// TestFaultScheduleValidatedEagerly: a bad schedule fails at Strategy time
+// with a parse or validation error, never from inside a worker.
+func TestFaultScheduleValidatedEagerly(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   Spec
+		substr string
+	}{
+		{"malformed clause", Spec{Mesh: 4, Faults: "link=oops"}, "link clause"},
+		{"unknown key", Spec{Mesh: 4, Faults: "flux=1"}, "unknown clause"},
+		{"kill outside centralized plane", Spec{Mesh: 4, Faults: "kill=1@10"}, "outside"},
+		{"kill outside sharded plane", Spec{Mesh: 4, ControlPlane: "sharded", Shards: 4, Faults: "kill=5@10"}, "outside"},
+		{"missing recovery", Spec{Mesh: 4, Faults: "link=0.05:0"}, "recovery time"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.spec.Strategy()
+			if err == nil || !strings.Contains(err.Error(), c.substr) {
+				t.Fatalf("Strategy error = %v, want substring %q", err, c.substr)
+			}
+		})
+	}
+	// The kill clause that fails on the centralized plane is fine on a
+	// 4-shard plane (and shard 0 is fine on centralized).
+	ok := Spec{Mesh: 4, ControlPlane: "sharded", Shards: 4, Faults: "kill=1@10"}
+	if _, err := ok.Strategy(); err != nil {
+		t.Fatalf("valid sharded kill window rejected: %v", err)
+	}
+	okCentral := Spec{Mesh: 4, Faults: "kill=0@10:20"}
+	if _, err := okCentral.Strategy(); err != nil {
+		t.Fatalf("valid centralized kill window rejected: %v", err)
+	}
+}

@@ -87,6 +87,7 @@ const (
 	GroupMC        = "monte-carlo cells"
 	GroupOptimized = "optimized placements"
 	GroupSharded   = "sharded control plane"
+	GroupChaos     = "chaos & runtime faults"
 	GroupBigMesh   = "big mesh"
 )
 
@@ -95,7 +96,7 @@ const (
 // canonical order, then application-registered groups in first-seen order,
 // then scenarios without a group under "other".
 func GroupedTables() []*stats.Table {
-	order := []string{GroupPaper, GroupAblation, GroupStress, GroupMC, GroupOptimized, GroupSharded, GroupBigMesh}
+	order := []string{GroupPaper, GroupAblation, GroupStress, GroupMC, GroupOptimized, GroupSharded, GroupChaos, GroupBigMesh}
 	known := make(map[string]bool, len(order))
 	for _, g := range order {
 		known[g] = true
@@ -339,6 +340,59 @@ func init() {
 			MappingSeed:        1,
 			FailedLinkFraction: 0.1,
 			FailedLinkSeed:     1,
+		},
+		// Chaos scenarios: runtime fault schedules applied mid-run (see
+		// internal/faults). Every schedule is a pure function of its seed, so
+		// these runs are exactly as reproducible as the fault-free ones; under
+		// `etcampaign` the schedule seed is re-drawn per replicate from the
+		// Transient channel.
+		{
+			Name:        "chaos-links",
+			Group:       GroupChaos,
+			Description: "transient link faults: 6x6 mesh where a random interconnect vanishes ~5% of frames and heals after 8",
+			Mesh:        6,
+			Faults:      "link=0.05:8,seed=1",
+		},
+		{
+			Name:        "chaos-crashes",
+			Group:       GroupChaos,
+			Description: "node crash/restore cycles: 6x6 mesh where a node crashes ~3% of frames and restores after 12",
+			Mesh:        6,
+			Faults:      "crash=0.03:12,seed=1",
+		},
+		{
+			Name:        "chaos-wear",
+			Group:       GroupChaos,
+			Description: "traversal wear: 6x6 mesh whose links break for good after ~150 packet traversals (Weibull k=2)",
+			Mesh:        6,
+			Faults:      "wear=150,seed=1",
+		},
+		{
+			Name:        "chaos-blackout",
+			Group:       GroupChaos,
+			Description: "controller blackout: 4x4 mesh whose central controller goes dark for frames 30-60 (last-known-good tables)",
+			Mesh:        4,
+			Faults:      "kill=0@30:60",
+		},
+		{
+			Name:            "chaos-region-failover",
+			Group:           GroupChaos,
+			Description:     "shard failover: sharded 8x8 mesh where region 1 dies at frame 40 and returns at 120; neighbours adopt its nodes",
+			Mesh:            8,
+			ControlPlane:    "sharded",
+			Shards:          4,
+			StalenessFrames: 8,
+			Faults:          "kill=1@40:120",
+		},
+		{
+			Name:            "chaos-storm",
+			Group:           GroupChaos,
+			Description:     "everything at once: sharded 8x8 mesh under link faults, crashes, wear and a region kill window",
+			Mesh:            8,
+			ControlPlane:    "sharded",
+			Shards:          4,
+			StalenessFrames: 8,
+			Faults:          "link=0.05:8,crash=0.02:12,wear=4000,kill=2@60:140,seed=1",
 		},
 		// Big-mesh scenarios: platforms far beyond the paper's 8x8 ceiling,
 		// tractable because the controller's phase 2 runs as an incremental

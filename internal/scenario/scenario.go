@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -148,6 +149,13 @@ type Spec struct {
 	// fault pattern.
 	FailedLinkFraction float64
 	FailedLinkSeed     uint64
+	// Faults is a runtime fault schedule in the compact clause form of
+	// faults.ParseSpec (e.g. "link=0.05:8,kill=1@40:80,seed=7"): transient
+	// link faults, wear breaks, node crashes and controller-region kill
+	// windows injected mid-run at frame boundaries. Empty injects nothing.
+	// Monte-Carlo campaigns re-seed the schedule per replicate from the
+	// Transient seed channel.
+	Faults string
 	// VerifyPayload makes every job carry a real AES block encrypted with
 	// PaperKey and verified against the reference cipher.
 	VerifyPayload bool
@@ -234,6 +242,19 @@ func (sp Spec) Strategy(extra ...core.Option) (*core.Strategy, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
 	}
 	opts = append(opts, core.WithControlPlane(control))
+	if sp.Faults != "" {
+		fsp, err := faults.ParseSpec(sp.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+		}
+		// Validate the schedule against the control plane's shard count
+		// eagerly, like every other spec error, instead of at materialisation
+		// time inside a worker.
+		if err := fsp.Validate(control.ShardCount()); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Label(), err)
+		}
+		opts = append(opts, core.WithFaults(fsp))
+	}
 	if sp.ConcurrentJobs > 1 {
 		opts = append(opts, core.WithConcurrentJobs(sp.ConcurrentJobs))
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/controlplane"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/routing"
 	"repro/internal/tdma"
@@ -47,6 +48,11 @@ type Config struct {
 	// ControllerBattery constructs controller batteries; nil models the
 	// infinite-energy controller of Sec 7.1/7.2.
 	ControllerBattery battery.Factory
+	// Faults is the deterministic runtime fault schedule (transient link
+	// faults, wear breaks, node crashes, controller-region kill windows). The
+	// zero value disables fault injection entirely and reproduces the
+	// fault-free engine byte for byte.
+	Faults faults.Spec
 	// ControllerPower characterises controller power draw; the zero value is
 	// replaced by the paper's measured 4x4 controller (its per-frame active
 	// time, and therefore its energy, grows with the node count).
@@ -156,6 +162,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: at least one controller is required, got %d", c.Controllers)
 	}
 	if err := c.Control.Validate(c.Graph.NodeCount()); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(c.Control.ShardCount()); err != nil {
 		return err
 	}
 	if c.BatteryLevels < 2 {

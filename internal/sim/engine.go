@@ -8,6 +8,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/battery"
 	"repro/internal/controlplane"
+	"repro/internal/faults"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -25,6 +26,11 @@ type nodeState struct {
 	battery  battery.Battery
 	lastRest int64
 	dead     bool
+	// crashed marks a runtime fault window (Config.Faults): the node stops
+	// computing, relaying and reporting but its battery survives and rests,
+	// and it resumes when the window closes. Distinct from dead, which is
+	// permanent and counts toward module extinction.
+	crashed bool
 
 	resident  int   // jobs currently buffered at this node
 	busyUntil int64 // the node's compute resource is occupied until this cycle
@@ -35,6 +41,10 @@ type nodeState struct {
 	commPJ  float64
 	ctrlPJ  float64
 }
+
+// down reports whether the node is currently unable to participate in the
+// mesh, for any reason (battery death or a runtime crash window).
+func (n *nodeState) down() bool { return n.dead || n.crashed }
 
 // jobPhase is the state of a job's miniature state machine.
 type jobPhase int
@@ -79,9 +89,9 @@ type Simulator struct {
 	// phases of a TDMA frame (snapshot adoption, the recompute decision, table
 	// production, controller energy and liveness) lives behind this interface.
 	// The two snapshot buffers are alternated by buildSnapshot: when the plane
-	// reports FrameReport.Adopted it retained the buffer it was just handed as
-	// its reference state, so the next frame's report goes into the other one
-	// and steady-state frames allocate nothing.
+	// reports FrameReport.RetainedSnapshot it kept the buffer it was just
+	// handed as its reference state, so the next frame's report goes into the
+	// other one and steady-state frames allocate nothing.
 	plane    controlplane.ControlPlane
 	snaps    [2]routing.SystemState
 	snapFlip int
@@ -89,6 +99,14 @@ type Simulator struct {
 
 	pipeline *aes.Pipeline
 	cipher   *aes.Cipher
+
+	// faultRuntime executes Config.Faults against the engine's private graph
+	// clone; nil when the schedule is empty, in which case every fault path
+	// below is skipped and the engine is byte-identical to one without the
+	// subsystem. topoEpoch counts runtime graph mutations and is stamped into
+	// each snapshot so the control planes recompute on shape changes.
+	faultRuntime *faults.Runtime
+	topoEpoch    uint64
 
 	now          int64
 	nextFrame    int64
@@ -132,6 +150,12 @@ func New(cfg Config) (*Simulator, error) {
 		destinations:   make(map[app.ModuleID][]topology.NodeID),
 		lastCompletion: topology.Invalid,
 	}
+	if cfg.Faults.Enabled() {
+		// Fault injection mutates the topology at frame boundaries; the engine
+		// works on a private clone so the caller's graph (often shared across a
+		// sweep) is never touched.
+		s.graph = cfg.Graph.Clone()
+	}
 	s.res.Algorithm = cfg.Algorithm.Name()
 	s.res.MeshNodes = cfg.Graph.NodeCount()
 	s.acct = resultObserver{res: &s.res}
@@ -141,9 +165,9 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 
-	k := cfg.Graph.NodeCount()
+	k := s.graph.NodeCount()
 	s.nodes = make([]*nodeState, k)
-	for _, n := range cfg.Graph.Nodes() {
+	for _, n := range s.graph.Nodes() {
 		s.nodes[n.ID] = &nodeState{
 			id:      n.ID,
 			module:  cfg.Mapping.ModuleAt(n.ID),
@@ -155,7 +179,7 @@ func New(cfg Config) (*Simulator, error) {
 	}
 
 	plane, err := controlplane.New(cfg.Control, controlplane.Deps{
-		Graph:             cfg.Graph,
+		Graph:             s.graph,
 		Algorithm:         cfg.Algorithm,
 		Destinations:      s.destinations,
 		TDMA:              cfg.TDMA,
@@ -168,6 +192,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.plane = plane
 	s.res.ControlPlane = plane.Name()
+	if cfg.Faults.Enabled() {
+		s.faultRuntime = faults.New(cfg.Faults, s.graph, plane.Shards())
+	}
 
 	if cfg.Key != nil {
 		pipeline, err := aes.NewPipeline(cfg.Key)
@@ -361,17 +388,17 @@ func (s *Simulator) moduleExtinct() bool {
 // previous one is completed". If that node has died, the job enters at the
 // living node closest to the source instead.
 func (s *Simulator) injectionPoint() topology.NodeID {
-	if s.lastCompletion != topology.Invalid && !s.nodes[s.lastCompletion].dead {
+	if s.lastCompletion != topology.Invalid && !s.nodes[s.lastCompletion].down() {
 		return s.lastCompletion
 	}
-	if !s.nodes[s.cfg.Source].dead {
+	if !s.nodes[s.cfg.Source].down() {
 		return s.cfg.Source
 	}
 	srcPos := s.graph.Coordinate(s.cfg.Source)
 	best := topology.Invalid
 	bestDist := int(^uint(0) >> 1)
 	for _, n := range s.nodes {
-		if n.dead {
+		if n.down() {
 			continue
 		}
 		d := srcPos.Manhattan(s.graph.Coordinate(n.id))
@@ -497,7 +524,7 @@ func (s *Simulator) resolveRoute(j *jobState) bool {
 		return s.block(j, phaseWaitingRoute)
 	}
 	route, ok := table.RouteTo(module)
-	if !ok || !route.Valid() || s.nodes[route.Dest].dead {
+	if !ok || !route.Valid() || s.nodes[route.Dest].down() {
 		// The tables may be stale; if no living duplicate is physically
 		// reachable any more the system is partitioned and dies.
 		if s.moduleExtinct() {
@@ -505,6 +532,12 @@ func (s *Simulator) resolveRoute(j *jobState) bool {
 			return false
 		}
 		if !s.reachableDuplicate(j.at, module) {
+			if s.faultRuntime != nil && s.faultRuntime.RecoveryPending() {
+				// The partition (or the crashed duplicate) is a fault window
+				// with a scheduled recovery: degrade gracefully and let the
+				// job wait it out instead of declaring the system dead.
+				return s.block(j, phaseWaitingRoute)
+			}
 			s.finish(DeathUnreachable)
 			return false
 		}
@@ -527,7 +560,7 @@ func (s *Simulator) resolveRoute(j *jobState) bool {
 // simulator's reusable scratch buffers, so repeated routing failures do not
 // allocate.
 func (s *Simulator) reachableDuplicate(from topology.NodeID, module app.ModuleID) bool {
-	if s.nodes[from].dead {
+	if s.nodes[from].down() {
 		return false
 	}
 	if s.reachSeen == nil {
@@ -542,7 +575,7 @@ func (s *Simulator) reachableDuplicate(from topology.NodeID, module app.ModuleID
 	}
 	anyTarget := false
 	for _, id := range s.destinations[module] {
-		if !s.nodes[id].dead {
+		if !s.nodes[id].down() {
 			targets[id] = true
 			anyTarget = true
 		}
@@ -559,7 +592,7 @@ func (s *Simulator) reachableDuplicate(from topology.NodeID, module app.ModuleID
 	for head := 0; head < len(queue) && !found; head++ {
 		cur := queue[head]
 		for _, nb := range s.graph.Neighbors(cur) {
-			if seen[nb] || s.nodes[nb].dead {
+			if seen[nb] || s.nodes[nb].down() {
 				continue
 			}
 			if targets[nb] {
@@ -603,7 +636,7 @@ func (s *Simulator) startHop(j *jobState) bool {
 		}
 	}
 	nextNode := s.nodes[next]
-	if nextNode.dead {
+	if nextNode.down() {
 		return s.block(j, phaseWaitingRoute)
 	}
 	if nextNode.resident >= s.cfg.NodeBufferJobs {
@@ -611,6 +644,12 @@ func (s *Simulator) startHop(j *jobState) bool {
 	}
 	link, ok := s.graph.Link(j.at, next)
 	if !ok {
+		if s.faultRuntime != nil {
+			// The link was just faulted out from under a still-stale table;
+			// wait for the epoch-triggered recompute (or the link's recovery)
+			// rather than declaring a partition.
+			return s.block(j, phaseWaitingRoute)
+		}
 		// Routing produced a next hop that is not a physical neighbour; this
 		// indicates a corrupted table and is treated as a partition.
 		s.finish(DeathUnreachable)
@@ -621,6 +660,9 @@ func (s *Simulator) startHop(j *jobState) bool {
 		return false // node died mid-transmission; killNode already handled the job
 	}
 	cur.commPJ += cost
+	if s.faultRuntime != nil {
+		s.faultRuntime.RecordHop(j.at, next)
+	}
 	relayed := j.hopsThisLeg > 0
 	s.emitHopStarted(HopEvent{Now: s.now, Job: j.id, From: j.at, To: next, EnergyPJ: cost, Relayed: relayed})
 	if relayed {

@@ -20,9 +20,20 @@ func (s *Simulator) processFrame() {
 	s.frameCount++
 	frame := FrameEvent{Now: s.now, Frame: s.frameCount}
 
+	if s.faultRuntime != nil {
+		// Fault transitions land at the frame boundary, before the upload
+		// phase, so the snapshot below already reflects them (crashed nodes
+		// report nothing; link changes bump the topology epoch).
+		s.applyFaults()
+		if s.dead {
+			s.emitFrameProcessed(frame)
+			return
+		}
+	}
+
 	uploadPJ := s.cfg.TDMA.UploadEnergyPerNodePJ()
 	for _, n := range s.nodes {
-		if n.dead {
+		if n.down() {
 			continue
 		}
 		s.restNode(n)
@@ -42,7 +53,7 @@ func (s *Simulator) processFrame() {
 	snapshot := s.buildSnapshot()
 	aliveCount := 0
 	for _, n := range s.nodes {
-		if !n.dead {
+		if !n.down() {
 			aliveCount++
 		}
 	}
@@ -54,7 +65,14 @@ func (s *Simulator) processFrame() {
 	frame.NewDeadlockReports = rep.NewDeadlockReports
 	frame.Recomputed = rep.Recomputed
 	frame.ShardRecomputes = rep.ShardRecomputes
-	if rep.Adopted {
+	frame.AdoptedNodes = rep.Adopted
+	for _, f := range rep.Failovers {
+		s.emitRegionFailedOver(FailoverEvent{
+			Now: s.now, Frame: s.frameCount,
+			From: f.From, To: f.To, Home: f.Home, Nodes: f.Nodes,
+		})
+	}
+	if rep.RetainedSnapshot {
 		// The plane retained the snapshot buffer just handed over as its
 		// reference state; the next frame's report goes into the other buffer.
 		s.snapFlip ^= 1
@@ -91,6 +109,7 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 	snapshot := &s.snaps[s.snapFlip]
 	snapshot.Graph = s.graph
 	snapshot.Levels = s.cfg.BatteryLevels
+	snapshot.TopologyEpoch = s.topoEpoch
 	k := len(s.nodes)
 	if cap(snapshot.Status) < k {
 		snapshot.Status = make([]routing.NodeStatus, k)
@@ -110,7 +129,9 @@ func (s *Simulator) buildSnapshot() *routing.SystemState {
 	}
 	sampling := len(s.observers) > 0
 	for _, n := range s.nodes {
-		if n.dead {
+		if n.down() {
+			// A crashed node reports nothing, exactly like a dead one; the
+			// plane routes around it until the crash window closes.
 			snapshot.Status[n.id] = routing.NodeStatus{Alive: false}
 			continue
 		}

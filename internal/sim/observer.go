@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/app"
+	"repro/internal/faults"
 	"repro/internal/topology"
 )
 
@@ -37,6 +38,16 @@ type Observer interface {
 	// BatterySampled fires once per alive node per TDMA frame, when the node
 	// reports its quantised battery level during its upload slot.
 	BatterySampled(e BatteryEvent)
+	// FaultInjected fires when the fault schedule takes a link, node or
+	// controller region down at a frame boundary.
+	FaultInjected(e FaultEvent)
+	// FaultRecovered fires when a previously injected fault heals (the link
+	// comes back, the node restores, the kill window closes).
+	FaultRecovered(e FaultEvent)
+	// RegionFailedOver fires when the sharded control plane hands a block of
+	// nodes to a different serving region (in either direction: adoption when
+	// a region goes fault-down, hand-back when it returns).
+	RegionFailedOver(e FailoverEvent)
 	// FrameProcessed fires at the end of every TDMA control frame, including
 	// a partial frame the system died in.
 	FrameProcessed(e FrameEvent)
@@ -128,6 +139,38 @@ type BatteryEvent struct {
 	Fraction float64
 }
 
+// FaultEvent describes one fault transition applied at a frame boundary.
+// Link events carry From/To (the undirected pair, From < To), node events
+// carry Node, region events carry Shard.
+type FaultEvent struct {
+	Now   int64
+	Frame int64
+	// Kind is the transition (faults.LinkDown, faults.NodeCrash, ...).
+	Kind faults.Kind
+	From topology.NodeID
+	To   topology.NodeID
+	Node topology.NodeID
+	// Shard is the controller region for region events.
+	Shard int
+	// RecoverAt is the frame the matching recovery is scheduled for
+	// (injections only; 0 = permanent).
+	RecoverAt int64
+}
+
+// FailoverEvent describes one block of nodes changing serving region under
+// the sharded control plane.
+type FailoverEvent struct {
+	Now   int64
+	Frame int64
+	// From and To are the previous and new serving regions; Home is the
+	// block's home region (To == Home when the block is handed back).
+	From int
+	To   int
+	Home int
+	// Nodes is the number of nodes in the block.
+	Nodes int
+}
+
 // FrameEvent summarises one completed TDMA control frame.
 type FrameEvent struct {
 	Now   int64
@@ -149,6 +192,9 @@ type FrameEvent struct {
 	NewDeadlockReports int
 	// AliveNodes is the number of living nodes after the upload phase.
 	AliveNodes int
+	// AdoptedNodes is the number of nodes currently served by a region other
+	// than their home region (sharded failover; always 0 otherwise).
+	AdoptedNodes int
 	// JobsInFlight is the number of active jobs at frame end.
 	JobsInFlight int
 }
@@ -194,6 +240,15 @@ func (BaseObserver) EnergyAborted(EnergyEvent) {}
 // BatterySampled implements Observer.
 func (BaseObserver) BatterySampled(BatteryEvent) {}
 
+// FaultInjected implements Observer.
+func (BaseObserver) FaultInjected(FaultEvent) {}
+
+// FaultRecovered implements Observer.
+func (BaseObserver) FaultRecovered(FaultEvent) {}
+
+// RegionFailedOver implements Observer.
+func (BaseObserver) RegionFailedOver(FailoverEvent) {}
+
 // FrameProcessed implements Observer.
 func (BaseObserver) FrameProcessed(FrameEvent) {}
 
@@ -238,12 +293,26 @@ func (o resultObserver) EnergyAborted(e EnergyEvent) { o.res.Energy.AbortedPJ +=
 
 func (o resultObserver) BatterySampled(BatteryEvent) {}
 
+func (o resultObserver) FaultInjected(e FaultEvent) {
+	o.res.FaultsInjected++
+	if e.Kind == faults.LinkBreak {
+		o.res.LinksBroken++
+	}
+}
+
+func (o resultObserver) FaultRecovered(FaultEvent) { o.res.FaultsRecovered++ }
+
+func (o resultObserver) RegionFailedOver(FailoverEvent) { o.res.RegionFailovers++ }
+
 func (o resultObserver) FrameProcessed(e FrameEvent) {
 	o.res.Frames = e.Frame
 	o.res.Energy.ControlUploadPJ += e.UploadPJ
 	o.res.Energy.ControlDownloadPJ += e.DownloadPJ
 	o.res.Energy.ControllerPJ += e.ControllerPJ
 	o.res.DeadlockReports += e.NewDeadlockReports
+	if e.AdoptedNodes > o.res.PeakAdoptedNodes {
+		o.res.PeakAdoptedNodes = e.AdoptedNodes
+	}
 	if e.Recomputed {
 		o.res.RoutingRecomputes++
 	}
@@ -321,6 +390,27 @@ func (s *Simulator) emitEnergyAborted(e EnergyEvent) {
 func (s *Simulator) emitBatterySampled(e BatteryEvent) {
 	for _, o := range s.observers {
 		o.BatterySampled(e)
+	}
+}
+
+func (s *Simulator) emitFaultInjected(e FaultEvent) {
+	s.acct.FaultInjected(e)
+	for _, o := range s.observers {
+		o.FaultInjected(e)
+	}
+}
+
+func (s *Simulator) emitFaultRecovered(e FaultEvent) {
+	s.acct.FaultRecovered(e)
+	for _, o := range s.observers {
+		o.FaultRecovered(e)
+	}
+}
+
+func (s *Simulator) emitRegionFailedOver(e FailoverEvent) {
+	s.acct.RegionFailedOver(e)
+	for _, o := range s.observers {
+		o.RegionFailedOver(e)
 	}
 }
 

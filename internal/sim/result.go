@@ -132,6 +132,19 @@ type Result struct {
 	// Reason explains the termination.
 	Reason DeathReason
 
+	// FaultsInjected and FaultsRecovered count fault-schedule transitions
+	// applied during the run (Config.Faults); both are 0 without a schedule.
+	FaultsInjected  int
+	FaultsRecovered int
+	// LinksBroken counts permanent wear breaks (a subset of FaultsInjected).
+	LinksBroken int
+	// RegionFailovers counts blocks of nodes changing serving region under
+	// the sharded control plane (adoptions and hand-backs).
+	RegionFailovers int
+	// PeakAdoptedNodes is the largest number of nodes simultaneously served
+	// by a non-home region during the run.
+	PeakAdoptedNodes int
+
 	// Energy is the full energy breakdown.
 	Energy EnergyBreakdown
 

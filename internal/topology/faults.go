@@ -50,13 +50,18 @@ func dropLink(links []Link, from, to NodeID) []Link {
 // skipped, so the surviving platform can always still route around the
 // failures (a fully partitioned garment is simply dead and not an
 // interesting routing scenario). It returns the undirected links that were
-// actually removed.
-func FailLinks(g *Graph, fraction float64, seed uint64) ([]Link, error) {
+// actually removed, plus the shortfall: how many of the targeted removals
+// could not be performed because every remaining candidate would have
+// partitioned the fabric. A shortfall is not an error — a garment that
+// cannot shed that many links simply sheds fewer — but callers sweeping the
+// fraction axis near saturation should check it rather than assume the
+// requested damage landed.
+func FailLinks(g *Graph, fraction float64, seed uint64) ([]Link, int, error) {
 	if fraction < 0 || fraction >= 1 {
-		return nil, fmt.Errorf("topology: failure fraction must be in [0,1), got %g", fraction)
+		return nil, 0, fmt.Errorf("topology: failure fraction must be in [0,1), got %g", fraction)
 	}
 	if fraction == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	// Collect the undirected links (From < To) in deterministic order.
 	var undirected []Link
@@ -82,7 +87,7 @@ func FailLinks(g *Graph, fraction float64, seed uint64) ([]Link, error) {
 			break
 		}
 		if err := g.RemoveBiLink(l.From, l.To); err != nil {
-			return removed, err
+			return removed, target - len(removed), err
 		}
 		if g.Connected() {
 			removed = append(removed, l)
@@ -90,10 +95,10 @@ func FailLinks(g *Graph, fraction float64, seed uint64) ([]Link, error) {
 		}
 		// Undo a removal that partitions the fabric.
 		if err := g.AddBiLink(l.From, l.To, l.LengthCM); err != nil {
-			return removed, err
+			return removed, target - len(removed), err
 		}
 	}
-	return removed, nil
+	return removed, target - len(removed), nil
 }
 
 // Torus is a 2D mesh with wrap-around links in both dimensions, an

@@ -63,12 +63,18 @@ func TestFailLinksPreservesConnectivity(t *testing.T) {
 	for _, fraction := range []float64{0.1, 0.25, 0.4} {
 		m := MustMesh(6, 6, 1)
 		before := m.LinkCount()
-		removed, err := FailLinks(m.Graph, fraction, 7)
+		removed, shortfall, err := FailLinks(m.Graph, fraction, 7)
 		if err != nil {
 			t.Fatalf("fraction %g: %v", fraction, err)
 		}
 		if len(removed) == 0 {
 			t.Errorf("fraction %g removed no links", fraction)
+		}
+		// Accounting invariant: removals plus reported shortfall equal the
+		// requested target.
+		if target := int(float64(before/2) * fraction); len(removed)+shortfall != target {
+			t.Errorf("fraction %g: removed %d + shortfall %d != target %d",
+				fraction, len(removed), shortfall, target)
 		}
 		if m.LinkCount() != before-2*len(removed) {
 			t.Errorf("fraction %g: link count %d, want %d", fraction, m.LinkCount(), before-2*len(removed))
@@ -85,11 +91,11 @@ func TestFailLinksPreservesConnectivity(t *testing.T) {
 func TestFailLinksDeterministicPerSeed(t *testing.T) {
 	m1 := MustMesh(5, 5, 1)
 	m2 := MustMesh(5, 5, 1)
-	r1, err := FailLinks(m1.Graph, 0.2, 42)
+	r1, _, err := FailLinks(m1.Graph, 0.2, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := FailLinks(m2.Graph, 0.2, 42)
+	r2, _, err := FailLinks(m2.Graph, 0.2, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +108,7 @@ func TestFailLinksDeterministicPerSeed(t *testing.T) {
 		}
 	}
 	m3 := MustMesh(5, 5, 1)
-	r3, err := FailLinks(m3.Graph, 0.2, 43)
+	r3, _, err := FailLinks(m3.Graph, 0.2, 43)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,15 +128,47 @@ func TestFailLinksDeterministicPerSeed(t *testing.T) {
 
 func TestFailLinksValidation(t *testing.T) {
 	m := MustMesh(3, 3, 1)
-	if _, err := FailLinks(m.Graph, -0.1, 1); err == nil {
+	if _, _, err := FailLinks(m.Graph, -0.1, 1); err == nil {
 		t.Error("negative fraction accepted")
 	}
-	if _, err := FailLinks(m.Graph, 1.0, 1); err == nil {
+	if _, _, err := FailLinks(m.Graph, 1.0, 1); err == nil {
 		t.Error("fraction 1.0 accepted")
 	}
-	removed, err := FailLinks(m.Graph, 0, 1)
-	if err != nil || removed != nil {
-		t.Errorf("zero fraction: removed %v, err %v", removed, err)
+	removed, shortfall, err := FailLinks(m.Graph, 0, 1)
+	if err != nil || removed != nil || shortfall != 0 {
+		t.Errorf("zero fraction: removed %v, shortfall %d, err %v", removed, shortfall, err)
+	}
+}
+
+// TestFailLinksNearSaturationReportsShortfall pins the silent-shortfall fix:
+// on a 2xN ladder almost every link is a bridge once a few rungs are gone,
+// so a near-1 fraction cannot possibly land — FailLinks must stay connected
+// AND report exactly how many targeted removals it had to skip, instead of
+// silently delivering a fraction of the requested damage.
+func TestFailLinksNearSaturationReportsShortfall(t *testing.T) {
+	m := MustMesh(2, 8, 1)
+	undirected := m.LinkCount() / 2
+	removed, shortfall, err := FailLinks(m.Graph, 0.99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := int(float64(undirected) * 0.99)
+	if len(removed)+shortfall != target {
+		t.Fatalf("removed %d + shortfall %d != target %d", len(removed), shortfall, target)
+	}
+	if shortfall == 0 {
+		t.Fatalf("near-saturation fraction reported no shortfall (removed %d of %d undirected links)",
+			len(removed), undirected)
+	}
+	// The graph must keep a spanning tree: 2*8 nodes need 15 undirected links.
+	if kept := undirected - len(removed); kept < 15 {
+		t.Fatalf("only %d undirected links survive — below spanning-tree minimum", kept)
+	}
+	if !m.Connected() {
+		t.Fatal("near-saturation fault injection disconnected the ladder")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -138,7 +176,7 @@ func TestFailLinksConnectivityProperty(t *testing.T) {
 	prop := func(seed uint16, fracRaw uint8) bool {
 		m := MustMesh(5, 4, 1)
 		fraction := float64(fracRaw%50) / 100.0
-		if _, err := FailLinks(m.Graph, fraction, uint64(seed)); err != nil {
+		if _, _, err := FailLinks(m.Graph, fraction, uint64(seed)); err != nil {
 			return false
 		}
 		return m.Connected() && m.Validate() == nil

@@ -396,7 +396,7 @@ func TestCloneIsDeepAndIndependent(t *testing.T) {
 	}
 	// Mutating the clone must leave the original untouched, and vice versa.
 	before := m.LinkCount()
-	if _, err := FailLinks(c, 0.3, 7); err != nil {
+	if _, _, err := FailLinks(c, 0.3, 7); err != nil {
 		t.Fatal(err)
 	}
 	if c.LinkCount() >= before {
