@@ -36,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +58,7 @@ func main() {
 	var (
 		scenarioName  = flag.String("scenario", "", "run a registered scenario by name (see -list-scenarios); conflicts with the ad-hoc configuration flags, combines with -trace/-verify/-v/-max-cycles")
 		listScenarios = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
+		asJSON        = flag.Bool("json", false, "with -list-scenarios: emit the machine-readable registry (name, description, group, mesh, algorithm, canonical fingerprint) instead of tables")
 		traceFile     = flag.String("trace", "", "write the per-frame battery/throughput time-series to this file as CSV")
 		meshSize      = flag.Int("mesh", 4, "square mesh size (4..8 in the paper)")
 		algName       = flag.String("alg", "EAR", "routing algorithm: EAR or SDR")
@@ -87,10 +89,24 @@ func main() {
 	})
 
 	if *listScenarios {
+		if *asJSON {
+			// The same registry document etserve's GET /scenarios serves, so
+			// scripts can discover scenarios and their cache keys without a
+			// running daemon.
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(scenario.Infos()); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		for _, t := range scenario.GroupedTables() {
 			fmt.Print(t.Render())
 		}
 		return
+	}
+	if *asJSON {
+		fatal(fmt.Errorf("-json currently only applies to -list-scenarios"))
 	}
 
 	var cfg sim.Config

@@ -29,8 +29,10 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -91,6 +93,7 @@ type Option func(*config)
 
 type config struct {
 	workers int
+	ctx     context.Context
 }
 
 // WithWorkers sets the number of worker goroutines simulating replicates.
@@ -98,6 +101,19 @@ type config struct {
 // WithWorkers(1) forces a serial run. The aggregates are identical for every
 // worker count.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithContext ties the campaign to a context: once cancelled, no new
+// replicates start and the in-flight ones abort at their next scheduling
+// boundary (via sim.Config.Cancel), so an abandoned campaign stops burning
+// CPU promptly. Run then returns the context's error. The aggregates of a
+// campaign that ran to completion are unaffected by the option.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
 
 // Result holds a campaign's streaming aggregates: one stats.Summary per
 // reported metric, each folded over every replicate. No per-replicate data
@@ -230,7 +246,22 @@ func Run(sp Spec, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pool := runner.New(runner.WithWorkers(cfg.workers))
+	// runner.WithContext ignores a nil context, so the uncancellable default
+	// costs nothing.
+	pool := runner.New(runner.WithWorkers(cfg.workers), runner.WithContext(cfg.ctx))
+
+	// simulate runs one replicate, threading the campaign context into the
+	// engine's scheduling loop when one is configured.
+	simulate := func(rep scenario.Spec) (sim.Result, error) {
+		if cfg.ctx == nil {
+			return rep.Simulate()
+		}
+		s, err := rep.Strategy(core.WithContext(cfg.ctx))
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Simulate()
+	}
 
 	batch := sp.BatchSize
 	if batch <= 0 {
@@ -250,9 +281,18 @@ func Run(sp Spec, opts ...Option) (*Result, error) {
 		// Simulate the batch in parallel: each cell owns its simulator and
 		// writes its result at its batch slot, so the buffer needs no locks.
 		err := pool.Run(n, func(j int) error {
-			out, err := sp.Replicate(start + j).Simulate()
+			out, err := simulate(sp.Replicate(start + j))
 			if err != nil {
 				return fmt.Errorf("replicate %d: %w", start+j, err)
+			}
+			if out.Reason == sim.DeathCancelled {
+				// A truncated replicate must never be folded: abort the campaign
+				// with the context's error so callers cannot mistake a partial
+				// aggregate for a real one.
+				if cfg.ctx != nil && cfg.ctx.Err() != nil {
+					return cfg.ctx.Err()
+				}
+				return fmt.Errorf("replicate %d: cancelled", start+j)
 			}
 			buf[j] = out
 			return nil

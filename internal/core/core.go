@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analytic"
@@ -66,6 +67,10 @@ type Strategy struct {
 	// Observers are attached to the simulator's event stream (battery
 	// time-series, throughput traces, ...; see internal/trace).
 	Observers []sim.Observer
+	// Cancel, when non-nil, aborts the simulation at the next scheduling
+	// boundary once closed (see sim.Config.Cancel). WithContext derives it
+	// from a context's Done channel.
+	Cancel <-chan struct{}
 	// FailedLinkFraction removes that fraction of the mesh interconnects
 	// (wear-and-tear) before the simulation starts; FailedLinkSeed selects
 	// the deterministic fault pattern.
@@ -137,6 +142,20 @@ func WithMaxCycles(c int64) Option { return func(s *Strategy) { s.MaxCycles = c 
 // uses accumulate.
 func WithObservers(obs ...sim.Observer) Option {
 	return func(s *Strategy) { s.Observers = append(s.Observers, obs...) }
+}
+
+// WithContext ties the simulation's lifetime to a context: once the context
+// is cancelled the run aborts at its next scheduling boundary, finishing with
+// sim.DeathCancelled. A nil context leaves the strategy uncancellable (the
+// default). This is how request-scoped callers — the etserve daemon, whose
+// clients may disconnect mid-run — keep abandoned simulations from burning
+// CPU.
+func WithContext(ctx context.Context) Option {
+	return func(s *Strategy) {
+		if ctx != nil {
+			s.Cancel = ctx.Done()
+		}
+	}
 }
 
 // WithFailedLinks removes the given fraction of the platform's interconnects
@@ -240,6 +259,7 @@ func (s *Strategy) Config() (sim.Config, error) {
 		Key:                s.Key,
 		CollectNodeStats:   s.CollectNodeStats,
 		MaxCycles:          s.MaxCycles,
+		Cancel:             s.Cancel,
 		Observers:          s.Observers,
 		Faults:             s.Faults,
 	}

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"context"
+	"runtime/debug"
+)
+
+// Queue is the long-lived, context-aware admission front of a worker budget:
+// a fixed number of execution slots shared by many independent, concurrently
+// submitted tasks. It is what a daemon puts between its request handlers and
+// the CPU — every accepted request Does its work through the queue, so the
+// total simulation concurrency is bounded no matter how many clients are
+// connected, and a client that gives up while still queued never occupies a
+// slot at all.
+//
+// Unlike Pool.Run, which executes one finite batch and returns, a Queue has
+// no batch boundary: tasks arrive forever and each one carries its own
+// context. Do runs the task on the caller's goroutine (so the caller's stack,
+// request tracing and response writer are all naturally available) after
+// acquiring a slot; slots are released when the task returns.
+type Queue struct {
+	slots chan struct{}
+}
+
+// NewQueue builds a queue with the given number of execution slots. Values
+// below 1 select DefaultWorkers().
+func NewQueue(workers int) *Queue {
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	return &Queue{slots: make(chan struct{}, workers)}
+}
+
+// Workers reports the queue's slot count.
+func (q *Queue) Workers() int { return cap(q.slots) }
+
+// InFlight reports how many tasks currently hold a slot. It is a point-in-time
+// snapshot for metrics, not a synchronisation primitive.
+func (q *Queue) InFlight() int { return len(q.slots) }
+
+// Do runs fn once a slot is free, passing the caller's context through. If
+// the context is cancelled while the task is still waiting for a slot, Do
+// returns the context's error without ever starting fn — a departed client
+// costs nothing. A cancellation after fn starts is fn's own business: the
+// context is handed to it precisely so it can stop early (the simulator
+// does, via core.WithContext).
+//
+// Panics inside fn are recovered and returned as a *PanicError (index -1, as
+// queue tasks have no batch position), so one bad request cannot take down
+// the daemon's worker budget.
+func (q *Queue) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Check for cancellation first so a dead request never wins a free slot.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case q.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-q.slots }()
+	return runTask(ctx, fn)
+}
+
+// runTask invokes fn with panic recovery.
+func runTask(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx)
+}
+
+// RunContext is Pool.Run with a per-call context: the run aborts (between
+// cells) once either the pool's context or ctx is cancelled, and every cell
+// receives the merged context so long-running cells can stop early too. It is
+// the submission path for request-scoped batches — a campaign whose client
+// may disconnect — onto a pool that is itself shared and long-lived.
+func (p *Pool) RunContext(ctx context.Context, n int, cell func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Merge the pool's context with the call's: cancelling either cancels the
+	// run. context.WithCancel only links the chain through its parent, so the
+	// second source is watched via AfterFunc — but AfterFunc fires on its own
+	// goroutine, which would let a worker dispatch one more queued cell in the
+	// window before the merge propagates. The synchronous ctx.Err() check in
+	// the cell wrapper closes that window: a cancelled call never starts
+	// another cell, it fails the cell slot instead (which cancels the run with
+	// the usual lowest-index-wins selection).
+	runCtx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+	stop := context.AfterFunc(ctx, cancel)
+	defer stop()
+	view := &Pool{workers: p.workers, ctx: runCtx}
+	return view.Run(n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return cell(runCtx, i)
+	})
+}

@@ -69,6 +69,43 @@ func All() []Spec {
 	return specs
 }
 
+// Info is the machine-readable registry entry behind `etsim -list-scenarios
+// -json` and etserve's GET /scenarios: everything a client needs to discover
+// and submit a workload without scraping table output.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Group       string `json:"group"`
+	Mesh        int    `json:"mesh"`
+	Algorithm   string `json:"algorithm"`
+	// Fingerprint is the spec's content address (see Spec.Fingerprint) — the
+	// key its cached results live under, so clients can correlate listings
+	// with store entries.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Infos returns every registered scenario as a machine-readable entry, sorted
+// by name. Scenarios whose spec cannot be fingerprinted (none of the
+// built-ins) report an empty fingerprint rather than failing the listing.
+func Infos() []Info {
+	specs := All()
+	infos := make([]Info, 0, len(specs))
+	for _, sp := range specs {
+		info := Info{
+			Name:        sp.Name,
+			Description: sp.Description,
+			Group:       sp.Group,
+			Mesh:        sp.Mesh,
+			Algorithm:   displayAlgorithm(sp),
+		}
+		if f, err := sp.Fingerprint(); err == nil {
+			info.Fingerprint = f.String()
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
 // Table renders the whole registry as one flat stats table.
 func Table() *stats.Table {
 	t := stats.NewTable("Registered scenarios", "name", "mesh", "algorithm", "description")

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"repro/internal/campaign"
+	"repro/internal/serve/store"
+)
+
+// This file pins the service's wire types. The request bodies are the
+// canonical spec encodings of internal/scenario and internal/campaign (parsed
+// strictly — unknown fields are rejected); the response bodies below are the
+// exact bytes memoized in the content-addressed store, so a cache hit is
+// byte-identical to a cold compute by construction. Fields are only ever
+// added, never renamed or repurposed.
+
+// Response headers set by the compute endpoints.
+const (
+	// HeaderCache reports how the response was produced: "hit" (served from
+	// the store), "join" (deduplicated onto a concurrent identical
+	// submission) or "miss" (this request led the computation).
+	HeaderCache = "X-Cache"
+	// HeaderFingerprint carries the canonical content fingerprint (hex
+	// SHA-256) of the submitted spec — the store key of the response body.
+	HeaderFingerprint = "X-Fingerprint"
+)
+
+// MetricSummary is one campaign aggregate row: the wire form of a
+// stats.Summary, mirroring the columns of `etcampaign`'s table output.
+type MetricSummary struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+}
+
+// CampaignSummary is the response body of POST /campaign — the campaign's
+// aggregates, without any per-replicate data.
+type CampaignSummary struct {
+	Fingerprint  string          `json:"fingerprint"`
+	Replications int             `json:"replications"`
+	Seed         uint64          `json:"seed"`
+	Metrics      []MetricSummary `json:"metrics"`
+}
+
+// summarizeCampaign flattens a campaign result into its wire form.
+func summarizeCampaign(fp string, res *campaign.Result) CampaignSummary {
+	out := CampaignSummary{
+		Fingerprint:  fp,
+		Replications: res.Spec.Replications,
+		Seed:         res.Spec.Seed,
+	}
+	for _, m := range res.Metrics() {
+		s := m.Summary
+		out.Metrics = append(out.Metrics, MetricSummary{
+			Name:   m.Name,
+			Count:  s.Count(),
+			Mean:   s.Mean(),
+			CI95:   s.CI95(),
+			StdDev: s.StdDev(),
+			Min:    s.Min(),
+			P50:    s.Quantile(0.5),
+			P90:    s.Quantile(0.9),
+			P99:    s.Quantile(0.99),
+			Max:    s.Max(),
+		})
+	}
+	return out
+}
+
+// Stats is the response body of GET /stats.
+type Stats struct {
+	// Cache is the content-addressed store's counter snapshot.
+	Cache store.Stats `json:"cache"`
+	// InFlightRuns is the number of simulations currently executing;
+	// QueuedKeys the number of distinct fingerprints being computed
+	// (in-flight plus admission-queued); Workers the admission width.
+	InFlightRuns int `json:"inflight_runs"`
+	QueuedKeys   int `json:"queued_keys"`
+	Workers      int `json:"workers"`
+}

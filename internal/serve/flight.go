@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/serve/store"
+)
+
+// flightGroup deduplicates concurrent computations of the same content
+// address: while one computation for a key is in flight, later submissions
+// join it instead of starting their own. Combined with the content-addressed
+// store this gives the service its headline property — N identical concurrent
+// submissions cost exactly one simulation.
+//
+// Lifetime and cancellation semantics, which differ from the classic
+// singleflight in one important way:
+//
+//   - The computation runs on its own goroutine under a context owned by the
+//     flight, NOT any one client's request context. The first client
+//     disconnecting must not kill the computation the other N-1 clients are
+//     waiting on.
+//   - Each waiter holds a reference. A waiter whose own context is cancelled
+//     detaches; when the LAST waiter detaches the flight's context is
+//     cancelled, aborting the now-unwanted simulation at its next scheduling
+//     boundary (sim.Config.Cancel). Results of cancelled flights are errors
+//     and are never stored.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[store.Key]*flight
+}
+
+type flight struct {
+	refs   int
+	cancel context.CancelFunc
+	done   chan struct{}
+	val    []byte
+	err    error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[store.Key]*flight)}
+}
+
+// do returns the computation's bytes for key, joining an in-flight
+// computation if one exists and starting one otherwise. compute receives the
+// flight's own context; it must return promptly once that context is
+// cancelled. shared reports whether the result was joined rather than led.
+// ctx is the calling client's context: when it ends before the flight does,
+// do returns ctx.Err() (and the flight is aborted iff this was its last
+// waiter).
+func (g *flightGroup) do(ctx context.Context, key store.Key, compute func(context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.refs++
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+		g.flights[key] = f
+		go func() {
+			v, err := compute(fctx)
+			g.mu.Lock()
+			f.val, f.err = v, err
+			delete(g.flights, key)
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, ok, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.refs--
+		if f.refs == 0 {
+			// Last waiter gone: nobody wants this result any more. Abort the
+			// computation; its goroutine still runs to completion (recording
+			// the cancellation error and removing the map entry), so a
+			// re-submission after the abort starts a fresh flight or joins
+			// the dying one and sees its error — never a stale value.
+			f.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ok, ctx.Err()
+	}
+}
+
+// inflight returns the number of keys currently being computed.
+func (g *flightGroup) inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

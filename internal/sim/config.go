@@ -88,6 +88,12 @@ type Config struct {
 	Key []byte
 	// CollectNodeStats enables per-node statistics in the result.
 	CollectNodeStats bool
+	// Cancel, when non-nil, aborts the run at the next scheduling boundary
+	// once the channel is closed: the simulator stops injecting work, finishes
+	// with Reason DeathCancelled and returns the partial result. It is how
+	// long-lived callers (the etserve daemon) stop a simulation whose client
+	// has gone away; nil (the default) runs to system death as before.
+	Cancel <-chan struct{}
 	// Observers are attached to the simulator's event stream (see Observer).
 	// The engine's own result accounting is always active and costs nothing
 	// extra; nil entries are ignored. Observers receive events synchronously

@@ -121,6 +121,7 @@ type Simulator struct {
 	res          Result
 	dead         bool
 	finishReason DeathReason
+	cancel       <-chan struct{}
 
 	// acct is the built-in result observer; observers holds the externally
 	// attached ones from Config.Observers (nil in the common case).
@@ -149,6 +150,7 @@ func New(cfg Config) (*Simulator, error) {
 		graph:          cfg.Graph,
 		destinations:   make(map[app.ModuleID][]topology.NodeID),
 		lastCompletion: topology.Invalid,
+		cancel:         cfg.Cancel,
 	}
 	if cfg.Faults.Enabled() {
 		// Fault injection mutates the topology at frame boundaries; the engine
@@ -226,6 +228,10 @@ func (s *Simulator) Run() Result {
 	}
 
 	for !s.dead {
+		if s.cancelled() {
+			s.finish(DeathCancelled)
+			break
+		}
 		s.settle()
 		if s.dead {
 			break
@@ -268,6 +274,22 @@ func (s *Simulator) Run() Result {
 		Now: s.now, Frame: s.frameCount, Reason: s.finishReason, JobsInFlight: len(s.jobs),
 	})
 	return s.res
+}
+
+// cancelled reports whether the caller has asked the run to stop. It is a
+// non-blocking poll of Config.Cancel, checked once per scheduling iteration —
+// cheap next to a frame's worth of simulation, and prompt enough that an
+// abandoned run stops within one event's processing.
+func (s *Simulator) cancelled() bool {
+	if s.cancel == nil {
+		return false
+	}
+	select {
+	case <-s.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // finish marks the run as terminated. The termination reason, lifetime and

@@ -27,6 +27,11 @@ const (
 	// typically because every in-flight job is stuck behind a deadlock the
 	// recovery mechanism could not break.
 	DeathStalled DeathReason = "stalled"
+	// DeathCancelled means the caller cancelled the run (Config.Cancel
+	// closed) before the system died on its own. A cancelled result is a
+	// truncated prefix of the run and must never be treated — or cached — as
+	// the run's outcome.
+	DeathCancelled DeathReason = "cancelled"
 )
 
 // EnergyBreakdown accounts for every picojoule drawn during a run, split by
