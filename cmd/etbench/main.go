@@ -21,6 +21,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		crossings     = flag.Int("crossings", experiments.DefaultScalingCrossings, "battery-level crossings measured per mesh size for scaling")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile    = flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
+		spansFile     = flag.String("spans", "", "record every sweep cell in the flight recorder and write Chrome trace-event JSON to this file (one lane per worker; open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,14 @@ func main() {
 	}
 
 	parallelism := experiments.WithWorkers(*workers)
+	var spanLog *trace.Spans
+	if *spansFile != "" {
+		// Cell spans are observational only: the sweep tables are
+		// byte-identical with recording on or off (the determinism guards
+		// diff them at multiple worker counts).
+		spanLog = &trace.Spans{}
+		parallelism = experiments.Options(parallelism, experiments.WithSpans(spanLog))
+	}
 
 	selected := strings.Split(*experiment, ",")
 	// The Monte-Carlo sweeps multiply every cell by -replications, so they
@@ -297,6 +307,12 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+	if spanLog != nil {
+		if err := spanLog.WriteFile(*spansFile); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spans: %d cells recorded, written to %s\n", spanLog.Len(), *spansFile)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"repro/internal/battery"
 	"repro/internal/campaign"
@@ -60,6 +61,7 @@ func main() {
 		listScenarios = flag.Bool("list-scenarios", false, "list the registered scenarios and exit")
 		asJSON        = flag.Bool("json", false, "with -list-scenarios: emit the machine-readable registry (name, description, group, mesh, algorithm, canonical fingerprint) instead of tables")
 		traceFile     = flag.String("trace", "", "write the per-frame battery/throughput time-series to this file as CSV")
+		spansFile     = flag.String("spans", "", "record the flight recorder's frame/phase spans and write them to this file as Chrome trace-event JSON (open in chrome://tracing or Perfetto); the run's stdout is unaffected")
 		meshSize      = flag.Int("mesh", 4, "square mesh size (4..8 in the paper)")
 		algName       = flag.String("alg", "EAR", "routing algorithm: EAR or SDR")
 		batteryKind   = flag.String("battery", "thinfilm", "node battery model: thinfilm or ideal")
@@ -155,8 +157,8 @@ func main() {
 		if *replications > 1 {
 			// A campaign aggregates across replicates; the per-run outputs
 			// (frame traces, per-node tables) have no aggregate form here.
-			if *traceFile != "" || *perNode {
-				fatal(fmt.Errorf("-replications %d aggregates across runs; drop -trace/-v", *replications))
+			if *traceFile != "" || *perNode || *spansFile != "" {
+				fatal(fmt.Errorf("-replications %d aggregates across runs; drop -trace/-spans/-v", *replications))
 			}
 			res, err := campaign.Run(campaign.Spec{
 				Scenario:     spec,
@@ -202,12 +204,22 @@ func main() {
 		timeline = &trace.Timeline{}
 		cfg.Observers = append(cfg.Observers, timeline)
 	}
+	var spanLog *trace.Spans
+	if *spansFile != "" {
+		// The flight recorder implements sim.PhaseObserver, so attaching it
+		// turns the engine's span clock on. It is observational only: stdout
+		// stays byte-identical to a run without it (guarded in CI).
+		spanLog = &trace.Spans{}
+		cfg.Observers = append(cfg.Observers, spanLog)
+	}
 
 	s, err := sim.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	wallStart := time.Now()
 	res := s.Run()
+	wall := time.Since(wallStart)
 
 	fmt.Println(res.String())
 	summary := stats.NewTable("", "metric", "value")
@@ -258,6 +270,22 @@ func main() {
 		}
 		fmt.Printf("trace: %d frames written to %s\n", len(timeline.Rows()), *traceFile)
 	}
+
+	if spanLog != nil {
+		if err := spanLog.WriteFile(*spansFile); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spans: %d recorded, written to %s\n", spanLog.Len(), *spansFile)
+	}
+
+	// Wall-clock timing goes to stderr: it differs run to run, and stdout is
+	// byte-diffed by the determinism guards.
+	framesPerSec := 0.0
+	if wall > 0 {
+		framesPerSec = float64(res.Frames) / wall.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "etsim: %d frames simulated in %s (%.0f frames/s)\n",
+		res.Frames, wall.Round(time.Microsecond), framesPerSec)
 
 	if res.PayloadMismatches > 0 {
 		fatal(fmt.Errorf("%d of %d verified payloads mismatched the reference cipher",

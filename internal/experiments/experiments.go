@@ -17,6 +17,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // PaperMeshSizes are the square mesh sizes evaluated in the paper.
@@ -37,6 +38,7 @@ type Option func(*config)
 
 type config struct {
 	workers int
+	spans   *trace.Spans
 }
 
 // WithWorkers sets the number of worker goroutines a sweep may use. Values
@@ -44,13 +46,37 @@ type config struct {
 // per CPU. WithWorkers(1) forces a serial run.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
+// WithSpans attaches a flight recorder to the sweep's worker pool: every
+// executed cell lands in s as one span, laid out per worker, exportable as
+// Chrome trace-event JSON (etbench -spans). Recording is observational
+// only — cell results and their order are unaffected. A nil s is ignored.
+func WithSpans(s *trace.Spans) Option {
+	return func(c *config) { c.spans = s }
+}
+
+// Options combines several options into one, so callers can thread a single
+// value through every sweep invocation.
+func Options(opts ...Option) Option {
+	return func(c *config) {
+		for _, o := range opts {
+			if o != nil {
+				o(c)
+			}
+		}
+	}
+}
+
 // newPool builds the worker pool for one sweep invocation.
 func newPool(opts []Option) *runner.Pool {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return runner.New(runner.WithWorkers(cfg.workers))
+	ropts := []runner.Option{runner.WithWorkers(cfg.workers)}
+	if cfg.spans != nil {
+		ropts = append(ropts, runner.WithCellObserver(cfg.spans.CellObserver()))
+	}
+	return runner.New(ropts...)
 }
 
 // workerCount resolves the configured worker budget of a sweep invocation

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// kind discriminates the three metric shapes in a registry entry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them. Registration takes a
+// mutex; updates to the returned metric values are lock-free. Names must be
+// unique per registry and follow the Prometheus identifier grammar
+// ([a-zA-Z_][a-zA-Z0-9_]*); violations panic, because registration happens
+// in package var blocks where a bad name is a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]struct{}
+	entries []*entry
+}
+
+// NewRegistry returns an empty registry. Most code should use Default.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{})}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry, the one etserve's
+// GET /metrics renders.
+func Default() *Registry { return defaultRegistry }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(e *entry) {
+	if !validName(e.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", e.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", e.name))
+	}
+	r.byName[e.name] = struct{}{}
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&entry{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&entry{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a new histogram with the given upper
+// bounds (strictly increasing; a +Inf bucket is implicit). It panics on an
+// invalid layout.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	r.register(&entry{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// sorted returns the entries ordered by name. Rendering is rare (scrapes),
+// so sorting per call keeps registration O(1).
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	out := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by name. Histograms render the
+// conventional cumulative _bucket{le="..."} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(e.name)
+		bw.WriteByte(' ')
+		bw.WriteString(e.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(e.name)
+		bw.WriteByte(' ')
+		bw.WriteString(e.kind.String())
+		bw.WriteByte('\n')
+		switch e.kind {
+		case kindCounter:
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(e.counter.Value(), 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(e.gauge.Value(), 10))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			counts, sum, total := e.hist.snapshot()
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				bw.WriteString(e.name)
+				bw.WriteString(`_bucket{le="`)
+				if i < len(e.hist.bounds) {
+					bw.WriteString(formatFloat(e.hist.bounds[i]))
+				} else {
+					bw.WriteString("+Inf")
+				}
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(e.name)
+			bw.WriteString("_sum ")
+			bw.WriteString(formatFloat(sum))
+			bw.WriteByte('\n')
+			bw.WriteString(e.name)
+			bw.WriteString("_count ")
+			bw.WriteString(strconv.FormatUint(total, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is the WriteJSON document shape for one metric.
+type jsonMetric struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help,omitempty"`
+	Value   *int64       `json:"value,omitempty"`   // gauge
+	Count   *uint64      `json:"count,omitempty"`   // counter, histogram
+	Sum     *float64     `json:"sum,omitempty"`     // histogram
+	Buckets []jsonBucket `json:"buckets,omitempty"` // histogram
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative, Prometheus-style
+}
+
+// WriteJSON renders every registered metric as an indented JSON array in
+// the same style as etserve's /stats document, sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	entries := r.sorted()
+	out := make([]jsonMetric, 0, len(entries))
+	for _, e := range entries {
+		m := jsonMetric{Name: e.name, Type: e.kind.String(), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			v := e.counter.Value()
+			m.Count = &v
+		case kindGauge:
+			v := e.gauge.Value()
+			m.Value = &v
+		case kindHistogram:
+			counts, sum, total := e.hist.snapshot()
+			m.Sum = &sum
+			m.Count = &total
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(e.hist.bounds) {
+					le = formatFloat(e.hist.bounds[i])
+				}
+				m.Buckets = append(m.Buckets, jsonBucket{LE: le, Count: cum})
+			}
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,18 @@
+package runner
+
+import "repro/internal/metrics"
+
+// Process-global runner telemetry. Cells and queue tasks from every pool
+// and queue in the process aggregate here; sums across instances are what a
+// scrape wants (total CPU-seconds in cells, total slot-wait). Updates are
+// atomic and allocation-free, so they are safe in the sweep hot path.
+var (
+	poolCellSeconds = metrics.Default().Histogram("runner_pool_cell_seconds",
+		"Wall-clock duration of executed pool cells; sum/count give worker utilization.",
+		metrics.DurationBuckets())
+	queueWaitSeconds = metrics.Default().Histogram("runner_queue_wait_seconds",
+		"Time admitted queue tasks spent waiting for an execution slot.",
+		metrics.DurationBuckets())
+	queueTasksTotal = metrics.Default().Counter("runner_queue_tasks_total",
+		"Queue tasks that acquired an execution slot and ran.")
+)

@@ -3,6 +3,8 @@ package runner
 import (
 	"context"
 	"runtime/debug"
+	"sync/atomic"
+	"time"
 )
 
 // Queue is the long-lived, context-aware admission front of a worker budget:
@@ -20,6 +22,9 @@ import (
 // acquiring a slot; slots are released when the task returns.
 type Queue struct {
 	slots chan struct{}
+	// waiting counts callers blocked in Do between admission and slot
+	// acquisition — the queue depth a dashboard wants next to InFlight.
+	waiting atomic.Int64
 }
 
 // NewQueue builds a queue with the given number of execution slots. Values
@@ -37,6 +42,10 @@ func (q *Queue) Workers() int { return cap(q.slots) }
 // InFlight reports how many tasks currently hold a slot. It is a point-in-time
 // snapshot for metrics, not a synchronisation primitive.
 func (q *Queue) InFlight() int { return len(q.slots) }
+
+// Depth reports how many tasks are waiting for a slot (admitted to Do but
+// not yet running). Like InFlight it is a point-in-time snapshot.
+func (q *Queue) Depth() int { return int(q.waiting.Load()) }
 
 // Do runs fn once a slot is free, passing the caller's context through. If
 // the context is cancelled while the task is still waiting for a slot, Do
@@ -56,11 +65,17 @@ func (q *Queue) Do(ctx context.Context, fn func(ctx context.Context) error) erro
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	q.waiting.Add(1)
+	start := time.Now()
 	select {
 	case q.slots <- struct{}{}:
 	case <-ctx.Done():
+		q.waiting.Add(-1)
 		return ctx.Err()
 	}
+	q.waiting.Add(-1)
+	queueWaitSeconds.Observe(time.Since(start).Seconds())
+	queueTasksTotal.Inc()
 	defer func() { <-q.slots }()
 	return runTask(ctx, fn)
 }
@@ -96,7 +111,7 @@ func (p *Pool) RunContext(ctx context.Context, n int, cell func(ctx context.Cont
 	defer cancel()
 	stop := context.AfterFunc(ctx, cancel)
 	defer stop()
-	view := &Pool{workers: p.workers, ctx: runCtx}
+	view := &Pool{workers: p.workers, ctx: runCtx, obs: p.obs}
 	return view.Run(n, func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -32,6 +32,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PanicError is the error a cell produces when its function panics. It keeps
@@ -58,7 +59,19 @@ func (e *PanicError) Error() string {
 type Pool struct {
 	workers int
 	ctx     context.Context
+	// obs, when set, receives one callback per executed cell (see
+	// WithCellObserver). Independent of obs, every cell's wall-clock
+	// duration feeds the process-global runner_pool_cell_seconds histogram.
+	obs CellObserver
 }
+
+// CellObserver receives one callback per executed cell: the cell's input
+// index, the worker that ran it (0 on the serial path), and its wall-clock
+// start and duration. Callbacks may arrive concurrently from different
+// workers; observers must be safe for concurrent use. Timing is
+// observational only — it never influences cell order or results (which are
+// deterministic by input index regardless of schedule).
+type CellObserver func(index, worker int, start time.Time, d time.Duration)
 
 // Option configures a Pool.
 type Option func(*Pool)
@@ -82,6 +95,13 @@ func WithContext(ctx context.Context) Option {
 			p.ctx = ctx
 		}
 	}
+}
+
+// WithCellObserver attaches a per-cell timing callback to the pool — the
+// hook the flight recorder (trace.Spans.CellObserver) uses to lay a sweep's
+// cells out per worker in a Chrome trace.
+func WithCellObserver(obs CellObserver) Option {
+	return func(p *Pool) { p.obs = obs }
 }
 
 // DefaultWorkers is the worker count used when none is configured: the
@@ -127,7 +147,7 @@ func (p *Pool) Run(n int, cell func(i int) error) error {
 			if err := p.ctx.Err(); err != nil {
 				return err
 			}
-			if err := runCell(i, cell); err != nil {
+			if err := p.execCell(i, 0, cell); err != nil {
 				return err
 			}
 		}
@@ -156,20 +176,20 @@ func (p *Pool) Run(n int, cell func(i int) error) error {
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := runCell(i, cell); err != nil {
+				if err := p.execCell(i, worker, cell); err != nil {
 					fail(i, err)
 					return
 				}
 				done.Add(1)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -182,6 +202,21 @@ func (p *Pool) Run(n int, cell func(i int) error) error {
 		return nil
 	}
 	return p.ctx.Err()
+}
+
+// execCell runs one cell with wall-clock timing: the duration always feeds
+// the process-global cell histogram (worker utilization = sum over count on
+// a scrape), and the pool's observer, when attached, gets the full
+// (index, worker, start, duration) tuple.
+func (p *Pool) execCell(i, worker int, cell func(i int) error) error {
+	start := time.Now()
+	err := runCell(i, cell)
+	d := time.Since(start)
+	poolCellSeconds.Observe(d.Seconds())
+	if p.obs != nil {
+		p.obs(i, worker, start, d)
+	}
+	return err
 }
 
 // runCell invokes cell(i) with panic recovery.

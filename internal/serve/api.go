@@ -77,9 +77,15 @@ type Stats struct {
 	// Cache is the content-addressed store's counter snapshot.
 	Cache store.Stats `json:"cache"`
 	// InFlightRuns is the number of simulations currently executing;
+	// QueueDepth the number of tasks waiting for an admission slot;
 	// QueuedKeys the number of distinct fingerprints being computed
-	// (in-flight plus admission-queued); Workers the admission width.
-	InFlightRuns int `json:"inflight_runs"`
-	QueuedKeys   int `json:"queued_keys"`
-	Workers      int `json:"workers"`
+	// (in-flight plus admission-queued); FlightWaiters the total clients
+	// attached to those computations; Workers the admission width.
+	InFlightRuns  int `json:"inflight_runs"`
+	QueueDepth    int `json:"queue_depth"`
+	QueuedKeys    int `json:"queued_keys"`
+	FlightWaiters int `json:"flight_waiters"`
+	Workers       int `json:"workers"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }

@@ -95,3 +95,16 @@ func (g *flightGroup) inflight() int {
 	defer g.mu.Unlock()
 	return len(g.flights)
 }
+
+// waiters returns the total number of clients attached to in-flight
+// computations (the sum of every flight's reference count) — how many
+// responses the current computations will fan out to.
+func (g *flightGroup) waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.flights {
+		n += f.refs
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Process-global service telemetry, rendered by GET /metrics in Prometheus
+// text exposition format. Counters and histograms are updated inline on the
+// request path (atomic, allocation-free); level gauges are refreshed from
+// the live structures at scrape time, because their sources (queue, flight
+// group, store) already own the authoritative instantaneous values.
+var (
+	requestsTotal = metrics.Default().Counter("serve_requests_total",
+		"HTTP requests served, across all endpoints.")
+	requestSeconds = metrics.Default().Histogram("serve_request_seconds",
+		"HTTP request latency, across all endpoints.",
+		metrics.DurationBuckets())
+	cacheHitsTotal = metrics.Default().Counter("serve_cache_hits_total",
+		"Compute requests answered from the content-addressed store.")
+	cacheJoinsTotal = metrics.Default().Counter("serve_cache_joins_total",
+		"Compute requests deduplicated onto a concurrent identical flight (single-flight saves).")
+	cacheMissesTotal = metrics.Default().Counter("serve_cache_misses_total",
+		"Compute requests that led a fresh computation.")
+
+	queueDepthGauge = metrics.Default().Gauge("serve_queue_depth",
+		"Tasks waiting for an admission-queue slot.")
+	inflightRunsGauge = metrics.Default().Gauge("serve_inflight_runs",
+		"Simulations currently holding an admission-queue slot.")
+	flightWaitersGauge = metrics.Default().Gauge("serve_flight_waiters",
+		"Clients attached to in-flight computations (single-flight references).")
+	uptimeSecondsGauge = metrics.Default().Gauge("serve_uptime_seconds",
+		"Seconds since the server was constructed.")
+	storeEntriesGauge = metrics.Default().Gauge("serve_store_entries",
+		"Entries resident in the in-memory result cache.")
+	storeBytesGauge = metrics.Default().Gauge("serve_store_bytes",
+		"Bytes resident in the in-memory result cache.")
+)
+
+// refreshGauges samples the live structures into the scrape-time gauges.
+func (s *Server) refreshGauges() {
+	queueDepthGauge.Set(int64(s.queue.Depth()))
+	inflightRunsGauge.Set(int64(s.queue.InFlight()))
+	flightWaitersGauge.Set(int64(s.flights.waiters()))
+	uptimeSecondsGauge.Set(int64(time.Since(s.start).Seconds()))
+	st := s.store.Stats()
+	storeEntriesGauge.Set(int64(st.Entries))
+	storeBytesGauge.Set(st.Bytes)
+}
+
+// handleMetrics serves GET /metrics: the whole process-global registry —
+// serve_*, store_*, runner_* and engine_phase_* families — in Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.Default().WritePrometheus(w)
+}
+
+// instrument wraps the route mux with request counting and latency timing.
+func instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		requestSeconds.Observe(time.Since(start).Seconds())
+		requestsTotal.Inc()
+	})
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func decodeStats(t *testing.T, body string) Stats {
+	t.Helper()
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decoding /stats: %v\n%s", err, body)
+	}
+	return st
+}
+
+// TestMetricsEndpoint drives a compute request through the service and
+// asserts GET /metrics serves Prometheus text exposition covering the
+// serve, store, runner and engine-phase metric families — the scrape
+// contract the CI smoke also checks against the real binary.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// One miss then one hit, so the counters below have known lower bounds.
+	post(t, ts.URL+"/simulate", smallSpec)
+	post(t, ts.URL+"/simulate", smallSpec)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition v0.0.4", ct)
+	}
+
+	// Every layer's family must be present, with HELP/TYPE headers.
+	for _, family := range []string{
+		"serve_requests_total", "serve_request_seconds",
+		"serve_cache_hits_total", "serve_cache_misses_total", "serve_cache_joins_total",
+		"serve_queue_depth", "serve_inflight_runs", "serve_flight_waiters",
+		"serve_uptime_seconds", "serve_store_entries", "serve_store_bytes",
+		"store_hits_total", "store_misses_total", "store_puts_total", "store_evictions_total",
+		"runner_queue_wait_seconds", "runner_queue_tasks_total", "runner_pool_cell_seconds",
+		"engine_phase_snapshot_seconds", "engine_phase_control_full_seconds", "engine_phase_schedule_seconds",
+		"engine_frames_total",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("family %s missing from /metrics", family)
+		}
+	}
+
+	// The two /simulate requests above must be visible: the histogram's
+	// cumulative +Inf bucket and the request counter are nonzero, and the
+	// serve cache saw at least one hit and one miss. (The counters are
+	// process-global, so assert "nonzero", not exact values.)
+	for _, re := range []string{
+		`(?m)^serve_requests_total [1-9]\d*$`,
+		`(?m)^serve_request_seconds_bucket\{le="\+Inf"\} [1-9]\d*$`,
+		`(?m)^serve_cache_hits_total [1-9]\d*$`,
+		`(?m)^serve_cache_misses_total [1-9]\d*$`,
+		`(?m)^runner_queue_tasks_total [1-9]\d*$`,
+		`(?m)^engine_phase_snapshot_seconds_count [1-9]\d*$`,
+		`(?m)^engine_frames_total [1-9]\d*$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(body) {
+			t.Errorf("no line matching %s in /metrics output", re)
+		}
+	}
+}
+
+// TestStatsReportsQueueAndUptime pins the extended /stats document: queue
+// depth, in-flight count, single-flight waiters and uptime ride along with
+// the store counters.
+func TestStatsReportsQueueAndUptime(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	post(t, ts.URL+"/simulate", smallSpec)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	st := decodeStats(t, body)
+	if st.Workers != 1 {
+		t.Errorf("workers = %d, want 1", st.Workers)
+	}
+	if st.InFlightRuns != 0 || st.QueueDepth != 0 || st.FlightWaiters != 0 {
+		t.Errorf("idle server reports inflight=%d depth=%d waiters=%d, want zeros",
+			st.InFlightRuns, st.QueueDepth, st.FlightWaiters)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %g, want >= 0", st.UptimeSeconds)
+	}
+	if st.Cache.Puts != 1 {
+		t.Errorf("cache puts = %d after one compute, want 1", st.Cache.Puts)
+	}
+	for _, field := range []string{"queue_depth", "flight_waiters", "uptime_seconds", "inflight_runs", "queued_keys"} {
+		if !strings.Contains(string(body), `"`+field+`"`) {
+			t.Errorf("/stats body missing %q:\n%s", field, body)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -64,6 +65,7 @@ type Server struct {
 	queue   *runner.Queue
 	store   *store.Store
 	flights *flightGroup
+	start   time.Time
 }
 
 // New validates the configuration and builds a Server.
@@ -80,6 +82,7 @@ func New(cfg Config) (*Server, error) {
 		queue:   runner.NewQueue(cfg.Workers),
 		store:   st,
 		flights: newFlightGroup(),
+		start:   time.Now(),
 	}, nil
 }
 
@@ -96,10 +99,11 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /campaign", s.handleCampaign)
 	mux.HandleFunc("POST /simulate/stream", s.handleStream)
-	return mux
+	return instrument(mux)
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -108,10 +112,13 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, Stats{
-		Cache:        s.store.Stats(),
-		InFlightRuns: s.queue.InFlight(),
-		QueuedKeys:   s.flights.inflight(),
-		Workers:      s.queue.Workers(),
+		Cache:         s.store.Stats(),
+		InFlightRuns:  s.queue.InFlight(),
+		QueueDepth:    s.queue.Depth(),
+		QueuedKeys:    s.flights.inflight(),
+		FlightWaiters: s.flights.waiters(),
+		Workers:       s.queue.Workers(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 
@@ -201,6 +208,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key store.Key, fp string, compute func(context.Context) ([]byte, error)) {
 	w.Header().Set(HeaderFingerprint, fp)
 	if v, ok := s.store.Get(key); ok {
+		cacheHitsTotal.Inc()
 		writeCached(w, "hit", v)
 		return
 	}
@@ -224,8 +232,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key store.K
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, err)
 	case shared:
+		cacheJoinsTotal.Inc()
 		writeCached(w, "join", v)
 	default:
+		cacheMissesTotal.Inc()
 		writeCached(w, "miss", v)
 	}
 }
@@ -234,6 +244,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key store.K
 // refusing to return a truncated result.
 func (s *Server) runScenario(ctx context.Context, sp scenario.Spec, obs ...sim.Observer) (sim.Result, error) {
 	var out sim.Result
+	// Every served simulation feeds the engine-phase histograms on /metrics.
+	// The observer is write-only telemetry, so the cached bytes stay
+	// byte-identical to an uninstrumented run.
+	obs = append(obs, trace.EngineMetrics{})
 	err := s.queue.Do(ctx, func(ctx context.Context) error {
 		st, err := sp.Strategy(core.WithContext(ctx), core.WithObservers(obs...))
 		if err != nil {
@@ -303,9 +317,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Result      json.RawMessage `json:"result"`
 	}
 	if v, ok := s.store.Get(key); ok {
+		cacheHitsTotal.Inc()
 		line(resultLine{Type: "result", Fingerprint: fp.String(), Cached: true, Result: v})
 		return
 	}
+	cacheMissesTotal.Inc()
 
 	// The Wire sink runs synchronously on this handler's goroutine (the
 	// queue executes fn on its caller), so writing to w needs no locking

@@ -1,0 +1,19 @@
+package store
+
+import "repro/internal/metrics"
+
+// Process-global store telemetry, incremented alongside each Store's own
+// Stats counters. Multiple stores in one process (tests, embedded servers)
+// sum into the same families, which is the aggregate a scrape wants.
+var (
+	hitsTotal = metrics.Default().Counter("store_hits_total",
+		"Result-cache lookups answered from memory.")
+	diskHitsTotal = metrics.Default().Counter("store_disk_hits_total",
+		"Result-cache lookups answered from the disk layer.")
+	missesTotal = metrics.Default().Counter("store_misses_total",
+		"Result-cache lookups that found nothing.")
+	putsTotal = metrics.Default().Counter("store_puts_total",
+		"Distinct results stored.")
+	evictionsTotal = metrics.Default().Counter("store_evictions_total",
+		"Entries evicted from memory to hold the byte budget.")
+)

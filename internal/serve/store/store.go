@@ -123,12 +123,14 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	if el, ok := s.entries[k]; ok {
 		s.lru.MoveToFront(el)
 		s.hits++
+		hitsTotal.Inc()
 		v := el.Value.(*entry).val
 		s.mu.Unlock()
 		return v, true
 	}
 	if s.dir == "" {
 		s.misses++
+		missesTotal.Inc()
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -142,9 +144,11 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	defer s.mu.Unlock()
 	if err != nil {
 		s.misses++
+		missesTotal.Inc()
 		return nil, false
 	}
 	s.diskHits++
+	diskHitsTotal.Inc()
 	if el, ok := s.entries[k]; ok {
 		// Lost the admit race; serve the resident copy.
 		s.lru.MoveToFront(el)
@@ -176,6 +180,7 @@ func (s *Store) Put(k Key, v []byte) error {
 		return nil
 	}
 	s.puts++
+	putsTotal.Inc()
 	if int64(len(cp)) > s.budget {
 		return nil
 	}
@@ -197,6 +202,7 @@ func (s *Store) admit(k Key, v []byte) {
 		delete(s.entries, e.key)
 		s.used -= int64(len(e.val))
 		s.evictions++
+		evictionsTotal.Inc()
 	}
 }
 

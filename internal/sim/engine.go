@@ -3,6 +3,7 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/aes"
 	"repro/internal/app"
@@ -128,6 +129,16 @@ type Simulator struct {
 	acct      resultObserver
 	observers []Observer
 
+	// phaseObs holds the Config.Observers entries that also implement
+	// PhaseObserver; when empty (the common case) the frame loop never reads
+	// the wall clock. spanEpoch anchors the run's span clock (set lazily on
+	// the first measurement); lastFrameEndNS is the span-clock reading at the
+	// end of the previous frame (-1 before the first), from which the
+	// PhaseSchedule gap spans are derived.
+	phaseObs       []PhaseObserver
+	spanEpoch      time.Time
+	lastFrameEndNS int64
+
 	// Reusable scratch buffers for the hot loops, so steady-state simulation
 	// does not allocate. iterScratch backs the job snapshots taken by Run and
 	// settle (which never overlap); killScratch backs killNode's snapshot,
@@ -164,8 +175,12 @@ func New(cfg Config) (*Simulator, error) {
 	for _, o := range cfg.Observers {
 		if o != nil {
 			s.observers = append(s.observers, o)
+			if po, ok := o.(PhaseObserver); ok {
+				s.phaseObs = append(s.phaseObs, po)
+			}
 		}
 	}
+	s.lastFrameEndNS = -1
 
 	k := s.graph.NodeCount()
 	s.nodes = make([]*nodeState, k)
@@ -263,6 +278,12 @@ func (s *Simulator) Run() Result {
 				s.finish(DeathStalled)
 			}
 		}
+	}
+	if s.timing() && s.lastFrameEndNS >= 0 {
+		// Close the trailing scheduling gap: time between the last control
+		// frame and the run's end (final job drains, the death cascade).
+		s.emitPhaseSpan(PhaseSchedule, s.lastFrameEndNS, s.spanNow())
+		s.lastFrameEndNS = -1
 	}
 	// RunFinished is emitted here, not inside finish: death can strike in
 	// the middle of a frame or of a cascade of job losses, and deferring the

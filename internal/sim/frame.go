@@ -20,11 +20,27 @@ func (s *Simulator) processFrame() {
 	s.frameCount++
 	frame := FrameEvent{Now: s.now, Frame: s.frameCount}
 
+	// The span clock is live only when a PhaseObserver is attached; every
+	// timed section below is gated on this one bool, so an uninstrumented
+	// frame performs no clock reads. The measurements are observational
+	// only — nothing here feeds back into scheduling or accounting.
+	timing := s.timing()
+	var mark int64
+	if timing {
+		mark = s.beginFrameSpans()
+		defer func() { s.lastFrameEndNS = s.spanNow() }()
+	}
+
 	if s.faultRuntime != nil {
 		// Fault transitions land at the frame boundary, before the upload
 		// phase, so the snapshot below already reflects them (crashed nodes
 		// report nothing; link changes bump the topology epoch).
 		s.applyFaults()
+		if timing {
+			end := s.spanNow()
+			s.emitPhaseSpan(PhaseFaults, mark, end)
+			mark = end
+		}
 		if s.dead {
 			s.emitFrameProcessed(frame)
 			return
@@ -46,6 +62,9 @@ func (s *Simulator) processFrame() {
 		}
 	}
 	if s.dead {
+		if timing {
+			s.emitPhaseSpan(PhaseSnapshot, mark, s.spanNow())
+		}
 		s.emitFrameProcessed(frame)
 		return
 	}
@@ -58,8 +77,23 @@ func (s *Simulator) processFrame() {
 		}
 	}
 	frame.AliveNodes = aliveCount
+	var fullBefore, incrBefore int
+	if timing {
+		end := s.spanNow()
+		s.emitPhaseSpan(PhaseSnapshot, mark, end)
+		mark = end
+		// RecomputeSplit is a read-only cumulative counter pair; sampling it
+		// around the Frame call classifies this frame's control phase as
+		// full, incremental, or idle.
+		fullBefore, incrBefore = s.plane.RecomputeSplit()
+	}
 
 	rep := s.plane.Frame(s.frameCount, aliveCount, snapshot)
+	if timing {
+		end := s.spanNow()
+		fullAfter, incrAfter := s.plane.RecomputeSplit()
+		s.emitPhaseSpan(controlPhase(fullBefore, incrBefore, fullAfter, incrAfter), mark, end)
+	}
 	frame.ControllerPJ = rep.ControllerPJ
 	frame.DownloadPJ = rep.DownloadPJ
 	frame.NewDeadlockReports = rep.NewDeadlockReports

@@ -1,0 +1,136 @@
+package sim
+
+import "time"
+
+// Phase identifies one timed section of a TDMA control frame. The engine
+// measures phases only when at least one PhaseObserver is attached
+// (Config.Observers entries that also implement PhaseObserver); with none
+// attached the frame loop performs no clock reads at all, so the disabled
+// path costs a nil-slice length check per frame (pinned by
+// BenchmarkMetrics/sim4x4 in internal/metrics).
+type Phase uint8
+
+const (
+	// PhaseFaults is the fault-schedule application at the frame boundary
+	// (only emitted when a fault schedule is active).
+	PhaseFaults Phase = iota
+	// PhaseSnapshot is the upload phase: per-node status collection and
+	// snapshot construction.
+	PhaseSnapshot
+	// PhaseControlIdle is a control-plane Frame call that performed no
+	// recompute (the plane retained its routing tables).
+	PhaseControlIdle
+	// PhaseControlFull is a control-plane Frame call that ran a full
+	// recompute pass.
+	PhaseControlFull
+	// PhaseControlIncremental is a control-plane Frame call that repaired
+	// tables through the incremental dirty-set path.
+	PhaseControlIncremental
+	// PhaseSchedule is the TDMA scheduling gap: everything between the end
+	// of one control frame and the start of the next (job movement,
+	// computation, timed completions).
+	PhaseSchedule
+
+	phaseCount
+)
+
+// PhaseCount is the number of distinct phases, for indexable per-phase
+// aggregation (see trace.EngineMetrics).
+const PhaseCount = int(phaseCount)
+
+// String returns the stable lower-case phase name used in span names and
+// metric families.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFaults:
+		return "faults"
+	case PhaseSnapshot:
+		return "snapshot"
+	case PhaseControlIdle:
+		return "control-idle"
+	case PhaseControlFull:
+		return "control-full"
+	case PhaseControlIncremental:
+		return "control-incremental"
+	case PhaseSchedule:
+		return "schedule"
+	}
+	return "unknown"
+}
+
+// PhaseSpanEvent is one timed phase occurrence. StartNS and DurationNS are
+// wall-clock nanoseconds on the run's private monotonic span clock, whose
+// epoch is the first measurement of the run — so spans from one run form a
+// self-consistent timeline starting near zero.
+//
+// Phase spans are observational only: they carry wall-clock durations that
+// differ between runs, so they are delivered through the separate
+// PhaseObserver interface and never feed back into the simulation, whose
+// outputs remain byte-identical with or without span collection.
+type PhaseSpanEvent struct {
+	// Frame is the 1-based frame this span belongs to. PhaseSchedule spans
+	// carry the frame they precede.
+	Frame int64
+	// Phase identifies the timed section.
+	Phase Phase
+	// StartNS is the span start on the run's span clock.
+	StartNS int64
+	// DurationNS is the measured wall-clock duration.
+	DurationNS int64
+}
+
+// PhaseObserver receives wall-clock phase spans from the engine. It is
+// deliberately not part of Observer (and not implemented by BaseObserver):
+// attaching a plain Observer must not enable the timing instrumentation.
+// An observer from Config.Observers that additionally implements
+// PhaseObserver — such as trace.Spans or trace.EngineMetrics — turns the
+// span clock on.
+type PhaseObserver interface {
+	PhaseSpan(e PhaseSpanEvent)
+}
+
+// timing reports whether the span clock is live for this run.
+func (s *Simulator) timing() bool { return len(s.phaseObs) > 0 }
+
+// spanNow returns nanoseconds since the run's span epoch, establishing the
+// epoch on first use.
+func (s *Simulator) spanNow() int64 {
+	if s.spanEpoch.IsZero() {
+		s.spanEpoch = time.Now()
+		return 0
+	}
+	return time.Since(s.spanEpoch).Nanoseconds()
+}
+
+// emitPhaseSpan fans one span out to the attached phase observers.
+func (s *Simulator) emitPhaseSpan(phase Phase, startNS, endNS int64) {
+	e := PhaseSpanEvent{Frame: s.frameCount, Phase: phase, StartNS: startNS, DurationNS: endNS - startNS}
+	for _, o := range s.phaseObs {
+		o.PhaseSpan(e)
+	}
+}
+
+// beginFrameSpans emits the PhaseSchedule span covering the gap since the
+// previous frame ended (nothing before the first frame: the settle phase is
+// not schedule time) and returns the current span clock reading, which is
+// the start of the first in-frame phase.
+func (s *Simulator) beginFrameSpans() int64 {
+	now := s.spanNow()
+	if s.lastFrameEndNS >= 0 {
+		s.emitPhaseSpan(PhaseSchedule, s.lastFrameEndNS, now)
+	}
+	return now
+}
+
+// controlPhase classifies a control-plane Frame call from the cumulative
+// recompute split captured before and after it.
+func controlPhase(fullBefore, incrBefore, fullAfter, incrAfter int) Phase {
+	switch {
+	case fullAfter > fullBefore:
+		return PhaseControlFull
+	case incrAfter > incrBefore:
+		return PhaseControlIncremental
+	default:
+		return PhaseControlIdle
+	}
+}

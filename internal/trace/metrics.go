@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// enginePhaseSeconds aggregates wall-clock phase durations across every
+// instrumented run in the process, one histogram per engine phase
+// (engine_phase_snapshot_seconds, engine_phase_control_full_seconds, ...).
+// Registered at package init so the families appear on /metrics scrapes
+// even before the first instrumented run.
+var enginePhaseSeconds = func() [sim.PhaseCount]*metrics.Histogram {
+	var hs [sim.PhaseCount]*metrics.Histogram
+	for p := 0; p < sim.PhaseCount; p++ {
+		name := "engine_phase_" + strings.ReplaceAll(sim.Phase(p).String(), "-", "_") + "_seconds"
+		hs[p] = metrics.Default().Histogram(name,
+			"Wall-clock duration of the engine's "+sim.Phase(p).String()+" frame phase.",
+			metrics.DurationBuckets())
+	}
+	return hs
+}()
+
+var engineFramesTotal = metrics.Default().Counter("engine_frames_total",
+	"TDMA control frames processed by metrics-instrumented simulations.")
+
+// EngineMetrics is a stateless observer that streams the engine's phase
+// timings into the process-global metrics registry. Attaching it implements
+// sim.PhaseObserver, which turns the engine's span clock on; etserve
+// attaches one to every simulation it runs so GET /metrics exposes
+// engine-phase latency histograms.
+//
+// Like all metrics, the aggregation is write-only from the simulation's
+// point of view: results are byte-identical with or without it.
+type EngineMetrics struct {
+	sim.BaseObserver
+}
+
+// PhaseSpan implements sim.PhaseObserver.
+func (EngineMetrics) PhaseSpan(e sim.PhaseSpanEvent) {
+	if int(e.Phase) < len(enginePhaseSeconds) {
+		enginePhaseSeconds[e.Phase].Observe(float64(e.DurationNS) / 1e9)
+	}
+}
+
+// FrameProcessed implements sim.Observer.
+func (EngineMetrics) FrameProcessed(sim.FrameEvent) { engineFramesTotal.Inc() }
